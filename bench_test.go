@@ -1,0 +1,327 @@
+// Package gaaapi's root benchmark suite: one testing.B benchmark per
+// experiment table (DESIGN.md section 4). The experiment binaries in
+// cmd/gaa-bench print the paper-style tables; these benchmarks expose
+// the same code paths to `go test -bench` for regression tracking.
+package gaaapi
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/gaahttp"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/httpd"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/logscan"
+	"gaaapi/internal/workload"
+)
+
+const (
+	policy71System = `
+eacl_mode narrow
+neg_access_right * *
+pre_cond_system_threat_level local =high
+`
+	policy71Local = `
+pos_access_right apache *
+pre_cond_system_threat_level local >low
+pre_cond_accessid_USER apache *
+`
+	policy72System = `
+eacl_mode narrow
+neg_access_right * *
+pre_cond_accessid_GROUP local BadGuys
+`
+	policy72Local = `
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+rr_cond_update_log local on:failure/BadGuys/info:IP
+neg_access_right apache *
+pre_cond_expr local input_length>1000
+pos_access_right apache *
+`
+	policy72LocalNotify = `
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:IP
+pos_access_right apache *
+`
+)
+
+func mustStack(b *testing.B, cfg gaahttp.StackConfig) *gaahttp.Stack {
+	b.Helper()
+	st, err := gaahttp.NewStack(cfg)
+	if err != nil {
+		b.Fatalf("NewStack: %v", err)
+	}
+	b.Cleanup(st.Close)
+	return st
+}
+
+// BenchmarkE1_PaperOverhead regenerates the paper's section 8 rows:
+// the GAA-API hook alone and the whole request, with and without the
+// notification action (synthetic 2 ms latency so the benchmark stays
+// tractable; cmd/gaa-bench uses the calibrated 47 ms).
+func BenchmarkE1_PaperOverhead(b *testing.B) {
+	attack := workload.PhfScan("192.0.2.66")
+
+	run := func(b *testing.B, local string, latency time.Duration, whole bool) {
+		st := mustStack(b, gaahttp.StackConfig{
+			SystemPolicy:  policy71System,
+			LocalPolicies: map[string]string{"*": local},
+			DocRoot:       workload.DocRoot(),
+			NotifyLatency: latency,
+		})
+		rec := httpd.NewRequestRec(attack.HTTPRequest(), nil, time.Now())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Groups.Remove("BadGuys", attack.ClientIP)
+			if whole {
+				st.Server.ServeHTTP(httptest.NewRecorder(), attack.HTTPRequest())
+			} else {
+				st.Guard.Check(rec)
+			}
+		}
+	}
+
+	b.Run("gaa-only/no-notify", func(b *testing.B) { run(b, policy72Local, 0, false) })
+	b.Run("gaa-only/notify", func(b *testing.B) { run(b, policy72LocalNotify, 2*time.Millisecond, false) })
+	b.Run("whole-request/no-notify", func(b *testing.B) { run(b, policy72Local, 0, true) })
+	b.Run("whole-request/notify", func(b *testing.B) { run(b, policy72LocalNotify, 2*time.Millisecond, true) })
+}
+
+// BenchmarkE2_Lockdown measures the lockdown policy at each threat
+// level for an authenticated client (the 7.1 behaviour table's hot
+// path).
+func BenchmarkE2_Lockdown(b *testing.B) {
+	for _, level := range []ids.Level{ids.Low, ids.Medium, ids.High} {
+		b.Run(level.String(), func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				SystemPolicy:  policy71System,
+				LocalPolicies: map[string]string{"*": policy71Local},
+				DocRoot:       workload.DocRoot(),
+				Users:         map[string]string{"alice": "pw"},
+			})
+			st.Threat.Set(level)
+			req := httptest.NewRequest("GET", "/index.html", nil)
+			req.RemoteAddr = "10.0.1.5:1"
+			req.SetBasicAuth("alice", "pw")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Server.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		})
+	}
+}
+
+// BenchmarkE3_Detection measures the full detection pipeline per
+// attack class (7.2 table): signature match, denial, blacklist update.
+func BenchmarkE3_Detection(b *testing.B) {
+	for _, atk := range workload.AttackMix() {
+		b.Run(atk.Attack, func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				SystemPolicy:  policy72System,
+				LocalPolicies: map[string]string{"*": policy72Local},
+				DocRoot:       workload.DocRoot(),
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Groups.Remove("BadGuys", atk.ClientIP)
+				st.Server.ServeHTTP(httptest.NewRecorder(), atk.HTTPRequest())
+			}
+		})
+	}
+}
+
+// BenchmarkE4_PolicyCache measures the access-control hook with the
+// composed-policy cache off and on (section 9 future work).
+func BenchmarkE4_PolicyCache(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		name := "off"
+		if cache {
+			name = "on"
+		}
+		b.Run("cache-"+name, func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				SystemPolicy:  policy71System,
+				LocalPolicies: map[string]string{"*": policy72Local},
+				DocRoot:       workload.DocRoot(),
+				PolicyCache:   cache,
+			})
+			req := workload.Legit(1, 1)[0]
+			rec := httpd.NewRequestRec(req.HTTPRequest(), nil, time.Now())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Guard.Check(rec)
+			}
+		})
+	}
+}
+
+// BenchmarkE5_Scaling measures CheckAuthorization against synthetic
+// policies of growing size (worst case: only the last entry matches).
+func BenchmarkE5_Scaling(b *testing.B) {
+	api := gaa.New()
+	conditions.Register(api, conditions.Deps{
+		Threat: ids.NewManager(ids.Low),
+		Groups: groups.NewStore(),
+	})
+	req := gaa.NewRequest("apache", "GET /index.html",
+		gaa.Param{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: "GET /index.html"})
+
+	for _, entries := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("entries-%d", entries), func(b *testing.B) {
+			var src strings.Builder
+			for i := 0; i < entries; i++ {
+				fmt.Fprintf(&src, "neg_access_right apache *\npre_cond_regex gnu *no-%d*\n", i)
+			}
+			src.WriteString("pos_access_right apache *\n")
+			e, err := eacl.ParseString(src.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := gaa.NewPolicy("/x", nil, []*eacl.EACL{e})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := api.CheckAuthorization(context.Background(), p, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_Composition measures two-level composed evaluation per
+// mode (section 2.1).
+func BenchmarkE6_Composition(b *testing.B) {
+	api := gaa.New()
+	req := gaa.NewRequest("apache", "GET /x")
+	for _, mode := range []string{"expand", "narrow", "stop"} {
+		b.Run(mode, func(b *testing.B) {
+			sys, err := eacl.ParseString("eacl_mode " + mode + "\npos_access_right apache *\n")
+			if err != nil {
+				b.Fatal(err)
+			}
+			loc, err := eacl.ParseString("pos_access_right apache *\n")
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := gaa.NewPolicy("/x", []*eacl.EACL{sys}, []*eacl.EACL{loc})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := api.CheckAuthorization(context.Background(), p, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_MidConditions measures a well-behaved CGI request with
+// and without execution-control quotas (the monitoring overhead of
+// E7b).
+func BenchmarkE7_MidConditions(b *testing.B) {
+	policies := map[string]string{
+		"no-quota": "pos_access_right apache *\n",
+		"quota":    "pos_access_right apache *\nmid_cond_quota local cpu_ms<=1000\n",
+	}
+	for name, policy := range policies {
+		b.Run(name, func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				LocalPolicies: map[string]string{"*": policy},
+			})
+			req := httptest.NewRequest("GET", "/cgi-bin/search?q=bench", nil)
+			req.RemoteAddr = "10.0.0.1:1"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Server.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		})
+	}
+}
+
+// BenchmarkE8_Anomaly measures profile scoring (the per-request cost
+// of anomaly-based detection).
+func BenchmarkE8_Anomaly(b *testing.B) {
+	det := ids.NewDetector(ids.DefaultAnomalyConfig())
+	for _, r := range workload.LegitFrom("10.0.0.1", 500, 1) {
+		path, query, _ := strings.Cut(r.Target, "?")
+		det.Train("10.0.0.1", path, len(query))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Score("10.0.0.1", "/cgi-bin/phf", 1200)
+	}
+}
+
+// BenchmarkE9_OfflineScan measures the offline CLF scanner's
+// throughput (the related-work comparator of E9).
+func BenchmarkE9_OfflineScan(b *testing.B) {
+	var log strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&log, "10.0.0.%d - - [19/May/2003:12:00:%02d +0000] %q 200 512\n",
+			i%250+1, i%60, "GET /docs/guide.html")
+	}
+	log.WriteString(`10.0.0.66 - - [19/May/2003:12:01:00 +0000] "GET /cgi-bin/phf?Qalias=x" 200 88` + "\n")
+	data := log.String()
+	scanner := logscan.NewScanner(ids.NewDB(ids.DefaultSignatures()...))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings, _, _, err := scanner.Scan(strings.NewReader(data))
+		if err != nil || len(findings) != 1 {
+			b.Fatalf("scan = %v, %v", findings, err)
+		}
+	}
+}
+
+// BenchmarkE10_RuntimeValues measures the cost of '@name' value
+// indirection in condition values against a literal bound.
+func BenchmarkE10_RuntimeValues(b *testing.B) {
+	run := func(b *testing.B, policy string, values map[string]string) {
+		st := mustStack(b, gaahttp.StackConfig{
+			LocalPolicies: map[string]string{"*": policy},
+			DocRoot:       workload.DocRoot(),
+			RuntimeValues: values,
+		})
+		req := httptest.NewRequest("GET", "/cgi-bin/search?q=ok", nil)
+		req.RemoteAddr = "10.0.0.5:1"
+		rec := httpd.NewRequestRec(req, nil, time.Now())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Guard.Check(rec)
+		}
+	}
+	const refPolicy = "neg_access_right apache *\npre_cond_expr local input_length>@max_input\npos_access_right apache *\n"
+	const litPolicy = "neg_access_right apache *\npre_cond_expr local input_length>1000\npos_access_right apache *\n"
+	b.Run("literal", func(b *testing.B) { run(b, litPolicy, nil) })
+	b.Run("runtime-value", func(b *testing.B) { run(b, refPolicy, map[string]string{"max_input": "1000"}) })
+}
+
+// BenchmarkEACLParse measures policy parsing (the cost the E4 cache
+// avoids).
+func BenchmarkEACLParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eacl.ParseString(policy72Local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Command eaclint is the policy tool the paper lists as future work in
+// section 2: "an automated tool to ensure policy correctness and
+// consistency and to ease the policy specification burden on the
+// policy officer". It parses EACL files, reports static findings
+// (unreachable entries, duplicate entries, illegal blocks, unknown
+// condition types), pretty-prints the canonical form, and explains
+// how a hypothetical request would evaluate.
+//
+// Usage:
+//
+//	eaclint policy.eacl                 # validate against the built-in registry
+//	eaclint -config gaa.conf policy.eacl  # validate against a GAA configuration file
+//	eaclint -fmt policy.eacl            # print canonical form
+//	eaclint -explain "GET /cgi-bin/phf" -param request_uri="GET /cgi-bin/phf" policy.eacl
+//	eaclint -hash /etc/passwd           # sha256 for post_cond_file_sha256
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gaaapi/internal/conditions"
+	gaaconfig "gaaapi/internal/config"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eaclint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+type paramFlags []string
+
+func (p *paramFlags) String() string { return strings.Join(*p, ",") }
+func (p *paramFlags) Set(s string) error {
+	*p = append(*p, s)
+	return nil
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("eaclint", flag.ContinueOnError)
+	var (
+		format  = fs.Bool("fmt", false, "print the canonical form instead of validating")
+		explain = fs.String("explain", "", "evaluate the right \"<METHOD> <path>\" and print the trace")
+		hash    = fs.String("hash", "", "print the sha256 of a file (for post_cond_file_sha256)")
+		cfgPath = fs.String("config", "", "GAA configuration file declaring the registered routines (default: all built-ins)")
+		params  paramFlags
+	)
+	fs.Var(&params, "param", "request parameter type=value for -explain (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *hash != "" {
+		digest, err := conditions.HashFile(*hash)
+		if err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "%s  %s\n", digest, *hash)
+		return 0, nil
+	}
+
+	if fs.NArg() == 0 {
+		return 2, fmt.Errorf("no policy files given")
+	}
+
+	// The registration vocabulary the findings are checked against:
+	// every built-in by default, or exactly what a GAA configuration
+	// file declares (paper section 6 step 1).
+	api := gaa.New()
+	if *cfgPath != "" {
+		cfg, err := gaaconfig.ParseFile(*cfgPath)
+		if err != nil {
+			return 2, err
+		}
+		deps := gaaconfig.Deps{}
+		deps.Conditions.Threat = ids.NewManager(ids.Low)
+		deps.Conditions.Groups = groups.NewStore()
+		if err := cfg.Apply(api, deps); err != nil {
+			return 2, err
+		}
+	} else {
+		conditions.Register(api, conditions.Deps{
+			Threat: ids.NewManager(ids.Low),
+			Groups: groups.NewStore(),
+		})
+		registerActionStubs(api)
+	}
+
+	exit := 0
+	for _, path := range fs.Args() {
+		e, err := eacl.ParseFile(path)
+		if err != nil {
+			fmt.Fprintf(out, "%v\n", err)
+			exit = 1
+			continue
+		}
+		if *format {
+			fmt.Fprint(out, e.String())
+			continue
+		}
+		findings := eacl.Validate(e, eacl.ValidateOptions{KnownCondition: api.Known})
+		for _, f := range findings {
+			fmt.Fprintf(out, "%s: %s\n", path, f)
+			if f.Severity == eacl.Error {
+				exit = 1
+			}
+		}
+		if len(findings) == 0 && *explain == "" {
+			fmt.Fprintf(out, "%s: ok (%d entries)\n", path, len(e.Entries))
+		}
+		if *explain != "" {
+			if err := explainPolicy(out, api, e, *explain, params); err != nil {
+				return 2, err
+			}
+		}
+	}
+	return exit, nil
+}
+
+func explainPolicy(out io.Writer, api *gaa.API, e *eacl.EACL, right string, params paramFlags) error {
+	req := gaa.NewRequest("apache", right)
+	for _, p := range params {
+		typ, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return fmt.Errorf("bad -param %q, want type=value", p)
+		}
+		req.Params = req.Params.With(gaa.Param{Type: typ, Authority: gaa.AuthorityAny, Value: val})
+	}
+	policy := gaa.NewPolicy("explain", nil, []*eacl.EACL{e})
+	ans, err := api.CheckAuthorization(context.Background(), policy, req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "decision: %s (applicable=%v)\n", ans.Decision, ans.Applicable)
+	if ans.Challenge != "" {
+		fmt.Fprintf(out, "challenge: %s\n", ans.Challenge)
+	}
+	for _, ev := range ans.Trace {
+		fmt.Fprintf(out, "  %s\n", ev)
+	}
+	return nil
+}
+
+// registerActionStubs marks the action vocabulary as known without
+// wiring real side effects — lint-time evaluation must stay pure.
+func registerActionStubs(api *gaa.API) {
+	for _, name := range []string{"notify", "update_log", "audit", "set_threat_level", "block_ip", "count"} {
+		api.RegisterFunc(name, gaa.AuthorityAny,
+			func(context.Context, eacl.Condition, *gaa.Request) gaa.Outcome {
+				return gaa.MetOutcome(gaa.ClassAction, "stubbed for lint")
+			})
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePolicy(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "policy.eacl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateCleanPolicy(t *testing.T) {
+	path := writePolicy(t, `
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+rr_cond_notify local on:failure/sysadmin/info:x
+pos_access_right apache *
+`)
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok (2 entries)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateFindings(t *testing.T) {
+	path := writePolicy(t, `
+pos_access_right apache *
+neg_access_right apache *
+pre_cond_phase_of_moon local full
+mid_cond_quota local cpu_ms<=5
+`)
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (error finding present)", code)
+	}
+	for _, want := range []string{"unreachable", "no evaluator registered", "not allowed on neg_access_right"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParseErrorExitsNonzero(t *testing.T) {
+	path := writePolicy(t, "pre_cond_orphan local x\n")
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "before any access right") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestFormatMode(t *testing.T) {
+	path := writePolicy(t, "eacl mode 1\npos_access_right   apache   *   # comment\n")
+	var out strings.Builder
+	code, err := run([]string{"-fmt", path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run -fmt = %d, %v", code, err)
+	}
+	want := "eacl_mode narrow\npos_access_right apache *\n"
+	if out.String() != want {
+		t.Errorf("canonical form = %q, want %q", out.String(), want)
+	}
+}
+
+func TestExplainMode(t *testing.T) {
+	path := writePolicy(t, `
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+pos_access_right apache *
+`)
+	var out strings.Builder
+	code, err := run([]string{
+		"-explain", "GET /cgi-bin/phf",
+		"-param", "request_uri=GET /cgi-bin/phf",
+		path,
+	}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run -explain = %d, %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "decision: no") {
+		t.Errorf("explain output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "entry fired: deny") {
+		t.Errorf("explain trace missing deny event:\n%s", out.String())
+	}
+}
+
+func TestExplainBadParam(t *testing.T) {
+	path := writePolicy(t, "pos_access_right apache *\n")
+	var out strings.Builder
+	if _, err := run([]string{"-explain", "GET /", "-param", "nocolon", path}, &out); err == nil {
+		t.Error("want error for malformed -param")
+	}
+}
+
+func TestHashMode(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(file, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run([]string{"-hash", file}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run -hash = %d, %v", code, err)
+	}
+	if !strings.HasPrefix(out.String(), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad") {
+		t.Errorf("hash output = %q", out.String())
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(nil, &out); err == nil {
+		t.Error("want error when no policy files given")
+	}
+}
+
+func TestConfigScopedValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "gaa.conf")
+	if err := os.WriteFile(cfgPath, []byte("condition regex gnu regex\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	policy := writePolicy(t, `
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+pre_cond_system_threat_level local =high
+`)
+	var out strings.Builder
+	code, err := run([]string{"-config", cfgPath, policy}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d (warnings are not errors)", code)
+	}
+	// regex IS registered by the config; the threat condition is NOT.
+	if strings.Contains(out.String(), "pre_cond_regex (authority") {
+		t.Errorf("regex flagged despite config registration:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "system_threat_level") {
+		t.Errorf("unregistered condition not flagged:\n%s", out.String())
+	}
+}
+
+func TestConfigFlagErrors(t *testing.T) {
+	policy := writePolicy(t, "pos_access_right apache *\n")
+	var out strings.Builder
+	if _, err := run([]string{"-config", filepath.Join(t.TempDir(), "absent.conf"), policy}, &out); err == nil {
+		t.Error("want error for missing config")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.conf")
+	if err := os.WriteFile(bad, []byte("condition x y unknown_routine\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-config", bad, policy}, &out); err == nil {
+		t.Error("want error for unknown routine in config")
+	}
+}

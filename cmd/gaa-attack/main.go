@@ -1,0 +1,142 @@
+// Command gaa-attack replays the experiment workloads against a
+// running gaa-httpd (or any HTTP server) and summarizes the outcomes —
+// the traffic-generator half of the paper's section 7 deployments.
+//
+// Usage:
+//
+//	gaa-attack -target http://localhost:8080 -mix attacks
+//	gaa-attack -target http://localhost:8080 -mix legit -n 100
+//	gaa-attack -target http://localhost:8080 -mix all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gaaapi/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gaa-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gaa-attack", flag.ContinueOnError)
+	var (
+		target  = fs.String("target", "http://localhost:8080", "base URL of the server under test")
+		mix     = fs.String("mix", "all", "workload: legit | attacks | all")
+		n       = fs.Int("n", 50, "number of legitimate requests")
+		seed    = fs.Int64("seed", 2003, "workload seed")
+		timeout = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		conc    = fs.Int("c", 1, "concurrent client workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var reqs []workload.Request
+	switch *mix {
+	case "legit":
+		reqs = workload.Legit(*n, *seed)
+	case "attacks":
+		reqs = workload.AttackMix()
+	case "all":
+		reqs = workload.Interleave(*seed, workload.Legit(*n, *seed), workload.AttackMix())
+	default:
+		return fmt.Errorf("unknown mix %q", *mix)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		// Redirects are an outcome (adaptive redirection), not a hop.
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+
+	type key struct {
+		attack string
+		code   int
+	}
+	var (
+		mu     sync.Mutex
+		counts = make(map[key]int)
+		errors int
+	)
+	if *conc < 1 {
+		*conc = 1
+	}
+	work := make(chan workload.Request)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				req, err := http.NewRequest(r.Method, *target+r.Target, nil)
+				if err != nil {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+					continue
+				}
+				if r.User != "" {
+					req.SetBasicAuth(r.User, r.Pass)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				label := r.Attack
+				if label == "" {
+					label = "legit"
+				}
+				mu.Lock()
+				counts[key{label, resp.StatusCode}]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, r := range reqs {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].attack != keys[j].attack {
+			return keys[i].attack < keys[j].attack
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(out, "%-16s %-6s %s\n", "class", "status", "count")
+	for _, k := range keys {
+		fmt.Fprintf(out, "%-16s %-6d %d\n", k.attack, k.code, counts[k])
+	}
+	if errors > 0 {
+		fmt.Fprintf(out, "transport errors: %d\n", errors)
+	}
+	fmt.Fprintf(out, "%d requests in %v (%.0f req/s, %d workers)\n",
+		len(reqs), elapsed.Round(time.Millisecond), float64(len(reqs))/elapsed.Seconds(), *conc)
+	return nil
+}

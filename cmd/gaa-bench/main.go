@@ -1,0 +1,77 @@
+// Command gaa-bench regenerates every experiment table indexed in
+// DESIGN.md section 4 (E1 is the paper's section 8 performance table;
+// E2/E3 are the section 7 deployments; E4-E8 are ablations).
+//
+// Usage:
+//
+//	gaa-bench                 # run every experiment
+//	gaa-bench -run e1,e3      # run a subset
+//	gaa-bench -trials 20      # the paper's trial count (default)
+//	gaa-bench -notify 47ms    # synthetic notification latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gaaapi/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gaa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gaa-bench", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "", "comma-separated experiment ids (e1..e8); empty = all")
+		trials  = fs.Int("trials", 20, "measurement trials per cell (paper protocol: 20)")
+		notify  = fs.Duration("notify", 47*time.Millisecond, "synthetic notification latency")
+		seed    = fs.Int64("seed", 2003, "workload seed")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Trials: *trials, NotifyLatency: *notify, Seed: *seed}
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Fprintf(out, "%-4s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+
+	var runners []experiments.Runner
+	if *runList == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			r, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		fmt.Fprintf(out, "--- %s: %s ---\n\n", r.ID, r.Title)
+		if err := r.Run(out, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.ID, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

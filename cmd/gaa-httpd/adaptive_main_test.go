@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gaaapi/internal/ids"
+)
+
+// TestDemoAdaptiveBound: the demo deployment's overflow bound lives in
+// the runtime value store; once an attack raises the threat level the
+// tuner tightens it, so a query acceptable in peacetime is denied.
+func TestDemoAdaptiveBound(t *testing.T) {
+	dep := buildDemo(t)
+
+	medium := "/cgi-bin/search?q=" + strings.Repeat("z", 500)
+	// Peacetime: 500 bytes < 1000-byte bound.
+	if w := get(t, dep.handler, medium, "10.0.0.5"); w.Code != http.StatusOK {
+		t.Fatalf("peacetime 500-byte query = %d, want 200", w.Code)
+	}
+
+	// Trip a signature: the demo policy escalates to medium and the
+	// tuner (running on the threat subscription) tightens the bound.
+	if w := get(t, dep.handler, "/cgi-bin/phf?x", "10.0.0.66"); w.Code != http.StatusForbidden {
+		t.Fatalf("attack = %d, want 403", w.Code)
+	}
+	deadline := time.After(2 * time.Second)
+	for dep.threat.Level() != ids.Medium {
+		select {
+		case <-deadline:
+			t.Fatalf("threat level = %v, want medium", dep.threat.Level())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// The tuner runs asynchronously; wait for the request outcome to
+	// flip rather than for internal state.
+	deadline = time.After(2 * time.Second)
+	for {
+		if w := get(t, dep.handler, medium, "10.0.0.5"); w.Code == http.StatusForbidden {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("tightened bound never took effect")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestDocrootFlagServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc := func(name, content string) {
+		t.Helper()
+		if err := writeFileHelper(dir, name, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeDoc("ondisk.html", "disk content")
+
+	dep := buildDemo(t, "-docroot", dir)
+	if w := get(t, dep.handler, "/ondisk.html", "10.0.0.5"); w.Code != http.StatusOK || w.Body.String() != "disk content" {
+		t.Errorf("disk doc = %d %q", w.Code, w.Body.String())
+	}
+}
+
+func writeFileHelper(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

@@ -1,0 +1,342 @@
+// Command gaa-httpd runs the GAA-protected web server: the Apache
+// analog with the GAA-API guard in front of its native .htaccess
+// access control, the demo CGI scripts, and the IDS feedback loop
+// (signature reports escalate the threat level, which the policies
+// read back).
+//
+// Usage:
+//
+//	gaa-httpd -listen :8080 \
+//	    -system system.eacl -local-dir ./site -docroot ./site \
+//	    -htpasswd users.htpasswd -groups groups.txt
+//
+// Without -system/-local-dir it serves a built-in demonstration
+// deployment: the paper's section 7.1 lockdown policy plus the section
+// 7.2 CGI protections over a small document tree. Admin endpoints:
+//
+//	GET /gaa/status   — threat level, blacklist, block set, audit tail
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gaaapi/internal/actions"
+	"gaaapi/internal/audit"
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/gaahttp"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/httpd"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/netblock"
+	"gaaapi/internal/notify"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gaa-httpd:", err)
+		os.Exit(1)
+	}
+}
+
+const demoSystemPolicy = `
+eacl_mode narrow
+neg_access_right * *
+pre_cond_system_threat_level local =high
+neg_access_right * *
+pre_cond_accessid_GROUP local BadGuys
+`
+
+const demoLocalPolicy = `
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi* *///////////////////* *%c0%af* *%255c* *cmd.exe*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:IP
+rr_cond_set_threat_level local on:failure/medium
+neg_access_right apache *
+pre_cond_expr local input_length>@max_input
+rr_cond_update_log local on:failure/BadGuys/info:IP
+pos_access_right apache *
+mid_cond_quota local cpu_ms<=250
+`
+
+// options are the parsed command-line settings.
+type options struct {
+	listen     string
+	systemPath string
+	localDir   string
+	htpasswdF  string
+	groupsFile string
+	accessLog  string
+	docRoot    string
+	notifyLat  time.Duration
+}
+
+func parseOptions(args []string) (options, error) {
+	fs := flag.NewFlagSet("gaa-httpd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.listen, "listen", ":8080", "listen address")
+	fs.StringVar(&o.systemPath, "system", "", "system-wide EACL policy file (empty: demo policy)")
+	fs.StringVar(&o.localDir, "local-dir", "", "directory tree searched for .eacl local policies")
+	fs.StringVar(&o.htpasswdF, "htpasswd", "", "htpasswd credential file")
+	fs.StringVar(&o.groupsFile, "groups", "", "persistent group (blacklist) file")
+	fs.StringVar(&o.accessLog, "access-log", "", "common-log-format access log path (empty: stdout)")
+	fs.StringVar(&o.docRoot, "docroot", "", "serve static documents from this directory (empty: built-in demo pages)")
+	fs.DurationVar(&o.notifyLat, "notify-latency", 0, "synthetic notification latency")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// deployment is the wired server plus the state its admin endpoint and
+// shutdown path need.
+type deployment struct {
+	handler http.Handler
+	threat  *ids.Manager
+	groups  *groups.Store
+	close   func()
+}
+
+func buildDeployment(o options) (*deployment, error) {
+	// Substrate services.
+	threat := ids.NewManager(ids.Low)
+	bus := ids.NewBus()
+	sigs := ids.NewDB(ids.DefaultSignatures()...)
+	grp := groups.NewStore()
+	counters := conditions.NewCounters(nil)
+	blocks := netblock.NewSet()
+	ring := audit.NewRing(4096)
+	mailbox := notify.NewMailbox(o.notifyLat)
+	async := notify.NewAsync(mailbox, 1024)
+
+	if o.groupsFile != "" {
+		if err := grp.LoadFile(o.groupsFile); err != nil {
+			async.Close()
+			return nil, fmt.Errorf("load groups: %w", err)
+		}
+	}
+
+	// Runtime constraint values (paper section 2 adaptive constraints):
+	// the tuner tightens the CGI input bound as the threat level rises.
+	values := gaa.NewValues()
+	values.Set("max_input", "1000")
+	tuner := ids.NewValueTuner(values)
+	tuner.SetLevelValues(ids.Low, map[string]string{"max_input": "1000"})
+	tuner.SetLevelValues(ids.Medium, map[string]string{"max_input": "300"})
+	tuner.SetLevelValues(ids.High, map[string]string{"max_input": "100"})
+
+	api := gaa.New(gaa.WithPolicyCache(4096), gaa.WithValues(values))
+	conditions.Register(api, conditions.Deps{
+		Threat: threat, Groups: grp, Counters: counters, Signatures: sigs,
+	})
+	actions.Register(api, actions.Deps{
+		Notifier: async, Groups: grp, Audit: ring, Threat: threat,
+		Blocks: blocks, Counters: counters,
+	})
+
+	// Policy sources.
+	var system, local []gaa.PolicySource
+	if o.systemPath != "" {
+		system = append(system, gaa.NewFileSource(o.systemPath))
+	} else {
+		mem := gaa.NewMemorySource()
+		if err := mem.AddPolicy("*", demoSystemPolicy); err != nil {
+			async.Close()
+			return nil, err
+		}
+		system = append(system, mem)
+	}
+	if o.localDir != "" {
+		local = append(local, gaa.NewDirSource(o.localDir, ".eacl"))
+	} else {
+		mem := gaa.NewMemorySource()
+		if err := mem.AddPolicy("*", demoLocalPolicy); err != nil {
+			async.Close()
+			return nil, err
+		}
+		local = append(local, mem)
+	}
+
+	guard := gaahttp.New(gaahttp.Config{
+		API: api, System: system, Local: local,
+		Bus: bus, Signatures: sigs,
+		Anomaly:          ids.NewDetector(ids.DefaultAnomalyConfig()),
+		Audit:            ring,
+		SensitiveObjects: []string{"/cgi-bin/*", "/private/*"},
+	})
+
+	// Correlator: the host-IDS loop adapting the threat level; the
+	// value tuner follows level changes.
+	corrCtx, corrCancel := context.WithCancel(context.Background())
+	sub := bus.Subscribe(256)
+	correlator := ids.NewCorrelator(threat, ids.DefaultCorrelatorConfig())
+	corrDone := make(chan struct{})
+	go func() {
+		defer close(corrDone)
+		correlator.Run(corrCtx, sub)
+	}()
+	levelCh, cancelLevelSub := threat.Subscribe()
+	tunerDone := make(chan struct{})
+	go func() {
+		defer close(tunerDone)
+		tuner.Run(corrCtx, levelCh)
+	}()
+
+	// Credentials.
+	htauth := httpd.NewHtpasswd()
+	if o.htpasswdF != "" {
+		f, err := os.Open(o.htpasswdF)
+		if err != nil {
+			corrCancel()
+			async.Close()
+			return nil, fmt.Errorf("open htpasswd: %w", err)
+		}
+		parsed, err := httpd.ParseHtpasswd(f)
+		f.Close()
+		if err != nil {
+			corrCancel()
+			async.Close()
+			return nil, err
+		}
+		htauth = parsed
+	} else {
+		htauth.SetPassword("admin", "admin")
+	}
+
+	var (
+		logW    io.Writer = os.Stdout
+		logFile *os.File
+	)
+	if o.accessLog != "" {
+		f, err := os.OpenFile(o.accessLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			corrCancel()
+			async.Close()
+			return nil, fmt.Errorf("open access log: %w", err)
+		}
+		logW, logFile = f, f
+	}
+
+	var files httpd.FileRoot
+	if o.docRoot != "" {
+		files = httpd.NewOSRoot(o.docRoot)
+	}
+	baseline := httpd.NewBaselineGuard(htaccessSource(o.localDir), nil)
+	server := httpd.NewServer(httpd.Config{
+		DocRoot:   demoDocRoot(),
+		Files:     files,
+		Scripts:   httpd.NewDemoRegistry(),
+		Guards:    []httpd.Guard{guard, baseline},
+		Auth:      htauth,
+		Blocks:    blocks,
+		AccessLog: logW,
+	})
+
+	// Dispatch without http.ServeMux: the mux canonicalizes paths
+	// (e.g. collapsing "//") with a 301 *before* the access-control
+	// phase, which would hide slash-flood probes from the GAA guard.
+	// Apache hands the raw request line to its modules; so do we.
+	status := func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "threat level: %s\n", threat.Level())
+		fmt.Fprintf(w, "BadGuys: %s\n", strings.Join(grp.Members("BadGuys"), " "))
+		fmt.Fprintf(w, "blocked: %s\n", strings.Join(blocks.List(), " "))
+		fmt.Fprintf(w, "notifications: %d\n", mailbox.Count())
+		fmt.Fprintf(w, "bus reports: %d\n", bus.Published())
+		recs := ring.Records()
+		if len(recs) > 10 {
+			recs = recs[len(recs)-10:]
+		}
+		for _, r := range recs {
+			fmt.Fprintf(w, "audit: %s %s %s %s\n", r.Kind, r.Object, r.Decision, r.ClientIP)
+		}
+	}
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/gaa/status" {
+			status(w, r)
+			return
+		}
+		server.ServeHTTP(w, r)
+	})
+
+	return &deployment{
+		handler: root,
+		threat:  threat,
+		groups:  grp,
+		close: func() {
+			corrCancel()
+			sub.Cancel()
+			cancelLevelSub()
+			<-corrDone
+			<-tunerDone
+			async.Close()
+			if logFile != nil {
+				logFile.Close()
+			}
+		},
+	}, nil
+}
+
+func run(args []string) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	dep, err := buildDeployment(o)
+	if err != nil {
+		return err
+	}
+	defer dep.close()
+
+	httpSrv := &http.Server{Addr: o.listen, Handler: dep.handler, ReadHeaderTimeout: 10 * time.Second}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("gaa-httpd listening on %s (threat level %s)\n", o.listen, dep.threat.Level())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCh:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if o.groupsFile != "" {
+		if err := dep.groups.SaveFile(o.groupsFile); err != nil {
+			return fmt.Errorf("save groups: %w", err)
+		}
+	}
+	return nil
+}
+
+// htaccessSource serves .htaccess files from the local policy tree (or
+// an empty in-memory source for the demo deployment).
+func htaccessSource(dir string) httpd.HtaccessSource {
+	if dir == "" {
+		return httpd.NewMapHtaccessSource()
+	}
+	return httpd.NewDirHtaccessSource(dir, ".htaccess")
+}
+
+func demoDocRoot() map[string]string {
+	return map[string]string{
+		"/index.html":        "<html><body><h1>GAA-protected server</h1></body></html>",
+		"/docs/guide.html":   "<html><body>guide</body></html>",
+		"/news/2003-05.html": "<html><body>news</body></html>",
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildDemo(t *testing.T, args ...string) *deployment {
+	t.Helper()
+	o, err := parseOptions(args)
+	if err != nil {
+		t.Fatalf("parseOptions: %v", err)
+	}
+	dep, err := buildDeployment(o)
+	if err != nil {
+		t.Fatalf("buildDeployment: %v", err)
+	}
+	t.Cleanup(dep.close)
+	return dep
+}
+
+func get(t *testing.T, h http.Handler, target, ip string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", target, nil)
+	req.RemoteAddr = ip + ":40000"
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestDemoDeploymentServesAndProtects(t *testing.T) {
+	dep := buildDemo(t)
+
+	if w := get(t, dep.handler, "/index.html", "10.0.0.5"); w.Code != http.StatusOK {
+		t.Errorf("home = %d, want 200", w.Code)
+	}
+	// phf is blocked, attacker blacklisted, threat escalates to medium
+	// (the demo policy's rr_cond_set_threat_level).
+	if w := get(t, dep.handler, "/cgi-bin/phf?Qalias=x", "10.0.0.66"); w.Code != http.StatusForbidden {
+		t.Errorf("phf = %d, want 403", w.Code)
+	}
+	if !dep.groups.Contains("BadGuys", "10.0.0.66") {
+		t.Error("attacker not blacklisted")
+	}
+	if dep.threat.Level().String() != "medium" {
+		t.Errorf("threat level = %v, want medium after attack", dep.threat.Level())
+	}
+	// Blacklisted source denied on any object.
+	if w := get(t, dep.handler, "/index.html", "10.0.0.66"); w.Code != http.StatusForbidden {
+		t.Errorf("blacklisted client = %d, want 403", w.Code)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	dep := buildDemo(t)
+	get(t, dep.handler, "/cgi-bin/phf?x", "10.9.9.9")
+	w := get(t, dep.handler, "/gaa/status", "127.0.0.1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status endpoint = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"threat level:", "BadGuys: 10.9.9.9", "bus reports:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestFileBackedDeployment(t *testing.T) {
+	dir := t.TempDir()
+	sysPath := filepath.Join(dir, "system.eacl")
+	if err := os.WriteFile(sysPath, []byte("eacl_mode narrow\nneg_access_right * *\npre_cond_accessid_GROUP local BadGuys\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	localDir := filepath.Join(dir, "site")
+	if err := os.MkdirAll(localDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(localDir, ".eacl"), []byte("pos_access_right apache *\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	htpasswd := filepath.Join(dir, "users")
+	if err := os.WriteFile(htpasswd, []byte("alice:{PLAIN}pw\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	groupsFile := filepath.Join(dir, "groups.txt")
+	if err := os.WriteFile(groupsFile, []byte("BadGuys: 203.0.113.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dep := buildDemo(t,
+		"-system", sysPath,
+		"-local-dir", localDir,
+		"-htpasswd", htpasswd,
+		"-groups", groupsFile,
+	)
+
+	// Preloaded blacklist member is denied.
+	if w := get(t, dep.handler, "/index.html", "203.0.113.5"); w.Code != http.StatusForbidden {
+		t.Errorf("preloaded blacklist member = %d, want 403", w.Code)
+	}
+	// Clean clients are served under the permissive local policy.
+	if w := get(t, dep.handler, "/index.html", "10.0.0.5"); w.Code != http.StatusOK {
+		t.Errorf("clean client = %d, want 200", w.Code)
+	}
+}
+
+func TestBuildDeploymentErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-htpasswd", "/nonexistent/file"},
+		{"-groups", string([]byte{0})}, // unopenable path
+		{"-system", "/nonexistent/policy.eacl", "-x"},
+	} {
+		o, err := parseOptions(args)
+		if err != nil {
+			continue // flag error is also an acceptable failure mode
+		}
+		dep, err := buildDeployment(o)
+		if err == nil {
+			dep.close()
+			// -system pointing at a missing file is NOT an error: the
+			// FileSource treats it as "no policy yet".
+			if o.htpasswdF != "" {
+				t.Errorf("buildDeployment(%v) should fail", args)
+			}
+		}
+	}
+}
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parseOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.listen != ":8080" {
+		t.Errorf("default listen = %q", o.listen)
+	}
+	if _, err := parseOptions([]string{"-bogus"}); err == nil {
+		t.Error("want error for unknown flag")
+	}
+}
+
+// TestSlashFloodReachesGuard guards against dispatch-layer path
+// canonicalization (http.ServeMux 301s "//" paths before the
+// access-control phase, hiding slash-flood probes from detection).
+func TestSlashFloodReachesGuard(t *testing.T) {
+	dep := buildDemo(t)
+	target := "/" + strings.Repeat("/", 40) + "index.html"
+	if w := get(t, dep.handler, target, "10.0.0.70"); w.Code != http.StatusForbidden {
+		t.Errorf("slash flood = %d, want 403 (guard must see the raw path)", w.Code)
+	}
+	if !dep.groups.Contains("BadGuys", "10.0.0.70") {
+		t.Error("slash-flood source not blacklisted")
+	}
+}

@@ -1,0 +1,65 @@
+// Command logscan is the offline comparator of the paper's section 10
+// related work (Almgren, Debar, Dacier, NDSS 2000): it scans Common
+// Log Format access logs for attack signatures after the fact. Its
+// per-signature report distinguishes attacks the server had already
+// served ("executed" — the damage the paper's online integration
+// prevents) from ones the server denied.
+//
+// Usage:
+//
+//	logscan access.log [more.log ...]
+//	gaa-httpd -access-log access.log &  ...  logscan access.log
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"gaaapi/internal/ids"
+	"gaaapi/internal/logscan"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logscan:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	if len(args) == 0 {
+		return 2, fmt.Errorf("no log files given")
+	}
+	scanner := logscan.NewScanner(ids.NewDB(ids.DefaultSignatures()...))
+	var all []logscan.Finding
+	totalLines, totalMalformed := 0, 0
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return 2, err
+		}
+		findings, lines, malformed, err := scanner.Scan(f)
+		f.Close()
+		if err != nil {
+			return 2, fmt.Errorf("%s: %w", path, err)
+		}
+		all = append(all, findings...)
+		totalLines += lines
+		totalMalformed += malformed
+	}
+
+	fmt.Fprintf(out, "%-14s %-8s %-10s %-8s\n", "signature", "total", "executed", "blocked")
+	for _, s := range logscan.Summarize(all) {
+		fmt.Fprintf(out, "%-14s %-8d %-10d %-8d\n", s.Signature, s.Total, s.Executed, s.Blocked)
+	}
+	fmt.Fprintf(out, "scanned %d lines (%d malformed), %d findings\n", totalLines, totalMalformed, len(all))
+
+	// Exit 1 when attacks were found, like grep.
+	if len(all) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLog(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "access.log")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScanLogWithAttacks(t *testing.T) {
+	path := writeLog(t, `10.0.0.66 - - [19/May/2003:12:00:01 +0000] "GET /cgi-bin/phf?Qalias=x" 200 88
+10.0.0.1 - - [19/May/2003:12:00:02 +0000] "GET /index.html" 200 512
+`)
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (findings present)", code)
+	}
+	if !strings.Contains(out.String(), "phf") || !strings.Contains(out.String(), "1 findings") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestScanCleanLog(t *testing.T) {
+	path := writeLog(t, `10.0.0.1 - - [19/May/2003:12:00:02 +0000] "GET /index.html" 200 512
+`)
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil || code != 0 {
+		t.Errorf("run = %d, %v", code, err)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(nil, &out); err == nil {
+		t.Error("want error for no files")
+	}
+	if _, err := run([]string{filepath.Join(t.TempDir(), "absent")}, &out); err == nil {
+		t.Error("want error for missing file")
+	}
+}

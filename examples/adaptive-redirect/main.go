@@ -1,0 +1,59 @@
+// Adaptive redirect: the paper's section 6 MAYBE translation. A
+// pre_cond_redirect is deliberately returned unevaluated carrying a
+// replica URL; the web server detects the single unevaluated redirect
+// condition in a MAYBE answer and issues HTTP_MOVED — per-client
+// redirection policy without touching the server code.
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"gaaapi/internal/gaahttp"
+)
+
+// Clients in 10.0.0.0/8 are steered to the west-coast replica; clients
+// in 192.168.0.0/16 to the east-coast one; everyone else is served
+// locally (the policy falls through to DECLINED and the native default
+// allows).
+const redirectPolicy = `
+pos_access_right apache *
+pre_cond_location local 10.0.0.0/8
+pre_cond_redirect local http://replica-west.example.org/
+
+pos_access_right apache *
+pre_cond_location local 192.168.0.0/16
+pre_cond_redirect local http://replica-east.example.org/
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive-redirect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	st, err := gaahttp.NewStack(gaahttp.StackConfig{
+		LocalPolicies: map[string]string{"/mirror/*": redirectPolicy},
+		DocRoot:       map[string]string{"/mirror/dataset.html": "served locally"},
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	for _, ip := range []string{"10.4.5.6", "192.168.7.8", "203.0.113.9"} {
+		req := httptest.NewRequest("GET", "/mirror/dataset.html", nil)
+		req.RemoteAddr = ip + ":40000"
+		rec := httptest.NewRecorder()
+		st.Server.ServeHTTP(rec, req)
+		if loc := rec.Header().Get("Location"); loc != "" {
+			fmt.Printf("client %-12s -> %d redirect to %s\n", ip, rec.Code, loc)
+		} else {
+			fmt.Printf("client %-12s -> %d served locally (%s)\n", ip, rec.Code, rec.Body.String())
+		}
+	}
+	return nil
+}

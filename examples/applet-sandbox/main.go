@@ -1,0 +1,142 @@
+// Applet sandbox: the paper's section 9 future work — "We will explore
+// the utility of mid-conditions for protection from untrusted
+// downloaded code, such as Java applets ... The mid-conditions will
+// control actions of the downloaded content on a client machine
+// throughout the execution of the content."
+//
+// A simulated plugin host authorizes downloaded code by origin, then
+// runs it under execution control: mid-condition quotas bound CPU,
+// memory and output for the whole run, and a violation kills the
+// content in real time.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/execctl"
+	"gaaapi/internal/gaa"
+)
+
+const sandboxPolicy = `
+# Content from the trusted origin runs with generous limits.
+pos_access_right plugin run
+pre_cond_accessid_HOST local *.trusted.example.org
+mid_cond_quota local cpu_ms<=500
+mid_cond_quota local mem_bytes<=67108864
+
+# Anything else runs tightly sandboxed.
+pos_access_right plugin run
+mid_cond_quota local cpu_ms<=20
+mid_cond_quota local mem_bytes<=1048576
+mid_cond_quota local output_bytes<=4096
+`
+
+// applet simulates downloaded content: a work function that credits
+// its resource consumption and honours cancellation.
+type applet struct {
+	name   string
+	origin string
+	work   func(ctx context.Context, u *execctl.Usage) error
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "applet-sandbox:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	api := gaa.New()
+	conditions.Register(api, conditions.Deps{})
+	e, err := eacl.ParseString(sandboxPolicy)
+	if err != nil {
+		return err
+	}
+	policy := gaa.NewPolicy("plugin", nil, []*eacl.EACL{e})
+
+	applets := []applet{
+		{
+			name:   "chart-widget (well behaved)",
+			origin: "cdn.trusted.example.org",
+			work: func(_ context.Context, u *execctl.Usage) error {
+				u.AddCPU(40 * time.Millisecond)
+				u.AddMem(4 << 20)
+				return nil
+			},
+		},
+		{
+			name:   "cryptominer (CPU runaway)",
+			origin: "free-games.example.net",
+			work: func(ctx context.Context, u *execctl.Usage) error {
+				for {
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					case <-time.After(200 * time.Microsecond):
+						u.AddCPU(5 * time.Millisecond)
+					}
+				}
+			},
+		},
+		{
+			name:   "memory bomb",
+			origin: "free-games.example.net",
+			work: func(ctx context.Context, u *execctl.Usage) error {
+				for i := 0; i < 64; i++ {
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					case <-time.After(200 * time.Microsecond):
+						u.AddMem(1 << 20)
+					}
+				}
+				return nil
+			},
+		},
+	}
+
+	for _, app := range applets {
+		req := &gaa.Request{
+			Rights: []eacl.Right{{Sign: eacl.Pos, DefAuth: "plugin", Value: "run"}},
+			Params: gaa.ParamList{
+				{Type: gaa.ParamClientHost, Authority: gaa.AuthorityAny, Value: app.origin},
+			},
+		}
+		ans, err := api.CheckAuthorization(context.Background(), policy, req)
+		if err != nil {
+			return err
+		}
+		if ans.Decision != gaa.Yes {
+			fmt.Printf("%-32s origin=%-26s -> load refused\n", app.name, app.origin)
+			continue
+		}
+
+		// Execution control: poll the policy's mid-conditions while
+		// the content runs; a violation cancels it.
+		check := func(snap execctl.Snapshot) gaa.Decision {
+			dec, _ := api.ExecutionControl(context.Background(), ans, req, snap.Params()...)
+			return dec
+		}
+		usage := execctl.NewUsage(nil)
+		res := execctl.Run(context.Background(), usage, app.work, check, 500*time.Microsecond)
+
+		switch {
+		case res.Violated:
+			fmt.Printf("%-32s origin=%-26s -> KILLED after cpu=%dms mem=%dKiB (quota violation)\n",
+				app.name, app.origin, res.Final.CPUMillis, res.Final.MemBytes/1024)
+		case res.Err != nil && !errors.Is(res.Err, context.Canceled):
+			fmt.Printf("%-32s origin=%-26s -> crashed: %v\n", app.name, app.origin, res.Err)
+		default:
+			fmt.Printf("%-32s origin=%-26s -> completed (cpu=%dms mem=%dKiB)\n",
+				app.name, app.origin, res.Final.CPUMillis, res.Final.MemBytes/1024)
+		}
+	}
+	return nil
+}

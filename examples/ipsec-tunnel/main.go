@@ -1,0 +1,126 @@
+// IPsec tunnel authorization: the third application the paper lists
+// ("We have integrated the GAA-API with Apache web server, sshd and
+// FreeS/WAN IPsec for Linux"). A simulated IKE daemon asks the GAA-API
+// whether a tunnel may be established: peers inside the corporate
+// ranges get tunnels any time; external partners only during business
+// hours; and nothing is negotiated while the system is under attack.
+// Established tunnels run under a mid-condition byte quota checked at
+// rekey time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/ids"
+)
+
+const tunnelPolicy = `
+# No tunnels while under attack (mandatory in a real deployment).
+neg_access_right ipsec *
+pre_cond_system_threat_level local =high
+
+# Corporate ranges: tunnels around the clock, 1 GiB between rekeys.
+pos_access_right ipsec tunnel
+pre_cond_location local 10.0.0.0/8 192.168.0.0/16
+mid_cond_quota local output_bytes<=1073741824
+
+# External partners: business hours only.
+pos_access_right ipsec tunnel
+pre_cond_location local 203.0.113.0/24
+pre_cond_time_window local 08:00-18:00 Mon-Fri
+mid_cond_quota local output_bytes<=1073741824
+`
+
+// ike is the simulated key-exchange daemon: the application-side
+// integration mirrors the Apache glue — extract parameters, request a
+// right, act on the tri-state answer.
+type ike struct {
+	api    *gaa.API
+	policy *gaa.Policy
+}
+
+func (d *ike) negotiate(peer string, at time.Time) (*gaa.Answer, error) {
+	req := &gaa.Request{
+		Rights: []eacl.Right{{Sign: eacl.Pos, DefAuth: "ipsec", Value: "tunnel"}},
+		Params: gaa.ParamList{
+			{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: peer},
+		},
+		Time: at,
+	}
+	return d.api.CheckAuthorization(context.Background(), d.policy, req)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ipsec-tunnel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threat := ids.NewManager(ids.Low)
+	api := gaa.New()
+	conditions.Register(api, conditions.Deps{Threat: threat})
+
+	e, err := eacl.ParseString(tunnelPolicy)
+	if err != nil {
+		return err
+	}
+	daemon := &ike{api: api, policy: gaa.NewPolicy("tunnel", nil, []*eacl.EACL{e})}
+
+	businessHours := time.Date(2003, 5, 19, 10, 0, 0, 0, time.UTC) // Monday 10:00
+	nighttime := time.Date(2003, 5, 19, 23, 0, 0, 0, time.UTC)
+
+	show := func(label, peer string, at time.Time) error {
+		ans, err := daemon.negotiate(peer, at)
+		if err != nil {
+			return err
+		}
+		verdict := map[gaa.Decision]string{
+			gaa.Yes:   "ESTABLISH",
+			gaa.No:    "reject",
+			gaa.Maybe: "defer (no applicable policy)",
+		}[ans.Decision]
+		fmt.Printf("%-34s peer=%-14s -> %s\n", label, peer, verdict)
+		return nil
+	}
+
+	fmt.Printf("threat level %s:\n", threat.Level())
+	if err := show("corporate peer, night", "10.1.2.3", nighttime); err != nil {
+		return err
+	}
+	if err := show("partner, business hours", "203.0.113.40", businessHours); err != nil {
+		return err
+	}
+	if err := show("partner, night", "203.0.113.40", nighttime); err != nil {
+		return err
+	}
+	if err := show("unknown network", "8.8.8.8", businessHours); err != nil {
+		return err
+	}
+
+	// Rekey-time execution control: the byte quota is a mid-condition.
+	ans, err := daemon.negotiate("10.1.2.3", businessHours)
+	if err != nil {
+		return err
+	}
+	usage := func(bytes string) gaa.Param {
+		return gaa.Param{Type: gaa.ParamOutputBytes, Authority: gaa.AuthorityAny, Value: bytes}
+	}
+	req := gaa.NewRequest("ipsec", "tunnel")
+	ok, _ := api.ExecutionControl(context.Background(), ans, req, usage("52428800"))
+	over, _ := api.ExecutionControl(context.Background(), ans, req, usage("2147483648"))
+	fmt.Printf("\nrekey check at 50 MiB transferred:  %s (tunnel continues)\n", ok)
+	fmt.Printf("rekey check at 2 GiB transferred:   %s (tunnel torn down, renegotiate)\n", over)
+
+	// Under attack, even corporate peers are refused.
+	threat.Set(ids.High)
+	fmt.Printf("\nthreat level %s:\n", threat.Level())
+	return show("corporate peer, business hours", "10.1.2.3", businessHours)
+}

@@ -1,0 +1,105 @@
+// Quickstart: define an EACL policy, initialize the GAA-API, and run
+// the three enforcement phases for a request — the minimal use of the
+// library, no web server involved.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"gaaapi/internal/actions"
+	"gaaapi/internal/audit"
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+)
+
+const policy = `
+# Deny requests matching a known attack signature, and record the
+# attacker in the Suspects group.
+neg_access_right myapp *
+pre_cond_regex gnu *DROP*TABLE* *../../*
+rr_cond_update_log local on:failure/Suspects/info:IP
+
+# Everything else is allowed, with an audit trail and a CPU quota
+# enforced while the operation runs.
+pos_access_right myapp *
+rr_cond_audit local on:any/info:request
+mid_cond_quota local cpu_ms<=100
+post_cond_audit local on:any/info:finished
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Initialize the GAA-API and register condition evaluators
+	//    (gaa_initialize in the paper).
+	api := gaa.New()
+	suspects := groups.NewStore()
+	ring := audit.NewRing(16)
+	conditions.Register(api, conditions.Deps{
+		Threat: ids.NewManager(ids.Low),
+		Groups: suspects,
+	})
+	actions.Register(api, actions.Deps{Groups: suspects, Audit: ring})
+
+	// 2. Retrieve the policy protecting the object
+	//    (gaa_get_object_policy_info).
+	source := gaa.NewMemorySource()
+	if err := source.AddPolicy("*", policy); err != nil {
+		return err
+	}
+	obj, err := api.GetObjectPolicyInfo("/reports/q2.html", nil, []gaa.PolicySource{source})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	check := func(name, uri, ip string) error {
+		// 3. Build the request: the requested right plus context
+		//    parameters.
+		req := gaa.NewRequest("myapp", "GET /reports/q2.html",
+			gaa.Param{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: uri},
+			gaa.Param{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: ip},
+		)
+
+		// 4. Phase 1: authorization (gaa_check_authorization).
+		ans, err := api.CheckAuthorization(ctx, obj, req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s decision=%-5s", name, ans.Decision)
+		if ans.Decision != gaa.Yes {
+			fmt.Printf("  suspects=%v\n", suspects.Members("Suspects"))
+			return nil
+		}
+
+		// 5. Phase 2: execution control (mid-conditions against a
+		//    usage snapshot — here the operation used 12 ms of CPU).
+		dec, _ := api.ExecutionControl(ctx, ans, req,
+			gaa.Param{Type: gaa.ParamCPUMillis, Authority: gaa.AuthorityAny, Value: "12"})
+		fmt.Printf("  mid=%-5s", dec)
+
+		// 6. Phase 3: post-execution actions.
+		post, _ := api.PostExecutionActions(ctx, ans, req, gaa.Yes)
+		fmt.Printf("  post=%s\n", post)
+		return nil
+	}
+
+	if err := check("legitimate", "GET /reports/q2.html", "10.0.0.8"); err != nil {
+		return err
+	}
+	if err := check("injection", "GET /reports/q2.html?id=1;DROP TABLE users", "10.0.0.66"); err != nil {
+		return err
+	}
+
+	fmt.Printf("audit records: %d\n", ring.Len())
+	return nil
+}

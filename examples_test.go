@@ -1,0 +1,49 @@
+package gaaapi
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end-to-end (`go run`) and
+// checks its headline output, so the runnable documentation cannot
+// rot. Examples are deterministic and terminate on their own.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go tool; skipped in -short mode")
+	}
+	tests := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"legitimate   decision=yes", "injection    decision=no", "suspects=[10.0.0.66]"}},
+		{"lockdown", []string{"threat level low:", "-> 401", "-> 403"}},
+		{"cgi-protection", []string{"unprotected server: 200, body leaks /etc/passwd: true",
+			"protected server:   403, body leaks /etc/passwd: false",
+			"BadGuys blacklist: [10.0.0.66]"}},
+		{"adaptive-redirect", []string{"302 redirect to http://replica-west.example.org/", "200 served locally"}},
+		{"sshd-lockout", []string{"password=correct-horse  -> DENIED (threat medium)", "-> granted"}},
+		{"ipsec-tunnel", []string{"-> ESTABLISH", "-> reject", "tunnel torn down"}},
+		{"applet-sandbox", []string{"-> completed", "-> KILLED"}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, "go", "run", "./examples/"+tt.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tt.dir, err, out)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

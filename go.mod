@@ -1,0 +1,3 @@
+module gaaapi
+
+go 1.22

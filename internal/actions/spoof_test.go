@@ -1,0 +1,114 @@
+package actions
+
+import (
+	"context"
+	"testing"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/netblock"
+)
+
+func mustParseEACL(t *testing.T, src string) []*eacl.EACL {
+	t.Helper()
+	e, err := eacl.ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return []*eacl.EACL{e}
+}
+
+// spoofHarness wires actions with a network IDS reporting 203.0.113.*
+// as spoofed.
+func spoofHarness(t *testing.T) (*gaa.API, *groups.Store, *netblock.Set) {
+	t.Helper()
+	grp := groups.NewStore()
+	blocks := netblock.NewSet()
+	api := gaa.New()
+	conditions.Register(api, conditions.Deps{Groups: grp})
+	Register(api, Deps{
+		Groups: grp,
+		Blocks: blocks,
+		Spoof:  ids.NewStaticSpoofList(0.9, "203.0.113.*"),
+	})
+	return api, grp, blocks
+}
+
+func checkWith(t *testing.T, api *gaa.API, policy, ip string) *gaa.Answer {
+	t.Helper()
+	p := gaa.NewPolicy("/x", nil, mustParseEACL(t, policy))
+	req := gaa.NewRequest("apache", "GET /x",
+		gaa.Param{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: ip})
+	ans, err := api.CheckAuthorization(context.Background(), p, req)
+	if err != nil {
+		t.Fatalf("CheckAuthorization: %v", err)
+	}
+	return ans
+}
+
+// TestSpoofedSourceNotBlacklisted: the paper's anti-DoS safeguard — an
+// attacker must not be able to get an impersonated host blacklisted
+// (sections 1 and 3).
+func TestSpoofedSourceNotBlacklisted(t *testing.T) {
+	api, grp, _ := spoofHarness(t)
+	const policy = `
+neg_access_right apache *
+rr_cond_update_log local on:failure/BadGuys/info:IP
+`
+	// Spoof-suspected source: denied, but never blacklisted.
+	ans := checkWith(t, api, policy, "203.0.113.9")
+	if ans.Decision != gaa.No {
+		t.Fatalf("decision = %v, want no", ans.Decision)
+	}
+	if grp.Contains("BadGuys", "203.0.113.9") {
+		t.Error("spoof-suspected source was blacklisted")
+	}
+	// Genuine source: blacklisted as usual.
+	checkWith(t, api, policy, "10.0.0.66")
+	if !grp.Contains("BadGuys", "10.0.0.66") {
+		t.Error("genuine source not blacklisted")
+	}
+}
+
+func TestSpoofedSourceNotFirewalled(t *testing.T) {
+	api, _, blocks := spoofHarness(t)
+	const policy = `
+neg_access_right apache *
+rr_cond_block_ip local on:failure/duration:10m
+`
+	checkWith(t, api, policy, "203.0.113.9")
+	if blocks.Blocked("203.0.113.9") {
+		t.Error("spoof-suspected source was firewalled")
+	}
+	checkWith(t, api, policy, "10.0.0.66")
+	if !blocks.Blocked("10.0.0.66") {
+		t.Error("genuine source not firewalled")
+	}
+}
+
+// TestSpoofCheckDoesNotAffectUserKeyedUpdates: spoofing indications are
+// about network addresses; user-keyed blacklist updates proceed.
+func TestSpoofCheckDoesNotAffectUserKeyedUpdates(t *testing.T) {
+	grp := groups.NewStore()
+	api := gaa.New()
+	Register(api, Deps{
+		Groups: grp,
+		Spoof:  ids.NewStaticSpoofList(0.9, "*"), // everything "spoofed"
+	})
+	e := mustParseEACL(t, `
+neg_access_right apache *
+rr_cond_update_log local on:failure/Suspects/info:USER
+`)
+	p := gaa.NewPolicy("/x", nil, e)
+	req := gaa.NewRequest("apache", "GET /x",
+		gaa.Param{Type: gaa.ParamUser, Authority: gaa.AuthorityAny, Value: "mallory"})
+	if _, err := api.CheckAuthorization(context.Background(), p, req); err != nil {
+		t.Fatal(err)
+	}
+	if !grp.Contains("Suspects", "mallory") {
+		t.Error("user-keyed update suppressed by address spoof check")
+	}
+}

@@ -1,0 +1,123 @@
+// Package audit implements the audit-record service behind
+// rr_cond_audit / post_cond_audit and the general "generating audit
+// records" countermeasure of the paper's section 1.
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one structured audit record.
+type Record struct {
+	Time     time.Time         `json:"time"`
+	Kind     string            `json:"kind"`               // e.g. "authorization", "attack", "post"
+	Object   string            `json:"object,omitempty"`   // protected object
+	Right    string            `json:"right,omitempty"`    // requested right
+	Decision string            `json:"decision,omitempty"` // yes/no/maybe
+	ClientIP string            `json:"client_ip,omitempty"`
+	User     string            `json:"user,omitempty"`
+	Info     string            `json:"info,omitempty"`
+	Details  map[string]string `json:"details,omitempty"`
+}
+
+// Logger consumes audit records.
+type Logger interface {
+	Log(r Record) error
+}
+
+// LoggerFunc adapts a function to Logger.
+type LoggerFunc func(Record) error
+
+// Log implements Logger.
+func (f LoggerFunc) Log(r Record) error { return f(r) }
+
+// JSONWriter writes one JSON object per line to an io.Writer. Safe for
+// concurrent use.
+type JSONWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONWriter returns a JSON-lines audit logger writing to w.
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	return &JSONWriter{enc: json.NewEncoder(w)}
+}
+
+// Log implements Logger.
+func (j *JSONWriter) Log(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(r)
+}
+
+// Ring keeps the last N records in memory; older records are evicted.
+// Safe for concurrent use. Handy for tests and for the admin endpoint.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Record
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to n records (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Record, n)}
+}
+
+// Log implements Logger.
+func (r *Ring) Log(rec Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	return nil
+}
+
+// Records returns the retained records, oldest first.
+func (r *Ring) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Record(nil), r.buf[:r.next]...)
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns the number of retained records.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Multi fans records out to several loggers; the first error wins but
+// every logger is attempted.
+func Multi(loggers ...Logger) Logger {
+	return LoggerFunc(func(rec Record) error {
+		var first error
+		for _, l := range loggers {
+			if err := l.Log(rec); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+}
+
+// Discard drops every record.
+var Discard Logger = LoggerFunc(func(Record) error { return nil })

@@ -1,0 +1,132 @@
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONWriter(t *testing.T) {
+	var buf strings.Builder
+	w := NewJSONWriter(&buf)
+	rec := Record{
+		Time:     time.Date(2003, 5, 19, 12, 0, 0, 0, time.UTC),
+		Kind:     "authorization",
+		Object:   "/cgi-bin/phf",
+		Decision: "no",
+		ClientIP: "10.0.0.66",
+		Details:  map[string]string{"signature": "phf"},
+	}
+	if err := w.Log(rec); err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	var got Record
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if got.Object != rec.Object || got.Details["signature"] != "phf" {
+		t.Errorf("round trip = %+v", got)
+	}
+	// Empty optional fields are omitted.
+	if strings.Contains(buf.String(), `"user"`) {
+		t.Errorf("zero fields should be omitted: %s", buf.String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		if err := r.Log(Record{Info: string(rune('a' + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(recs))
+	}
+	if recs[0].Info != "c" || recs[2].Info != "e" {
+		t.Errorf("order = %v, want oldest-first c..e", infos(recs))
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Log(Record{Info: "x"})
+	r.Log(Record{Info: "y"})
+	recs := r.Records()
+	if len(recs) != 2 || recs[0].Info != "x" {
+		t.Errorf("records = %v", infos(recs))
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRingMinimumSize(t *testing.T) {
+	r := NewRing(0)
+	r.Log(Record{Info: "a"})
+	r.Log(Record{Info: "b"})
+	recs := r.Records()
+	if len(recs) != 1 || recs[0].Info != "b" {
+		t.Errorf("records = %v, want just b", infos(recs))
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Log(Record{})
+			r.Records()
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+}
+
+func TestMulti(t *testing.T) {
+	ring1, ring2 := NewRing(4), NewRing(4)
+	m := Multi(ring1, ring2)
+	if err := m.Log(Record{Info: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if ring1.Len() != 1 || ring2.Len() != 1 {
+		t.Error("Multi did not fan out")
+	}
+
+	boom := errors.New("boom")
+	failing := LoggerFunc(func(Record) error { return boom })
+	m2 := Multi(failing, ring1)
+	err := m2.Log(Record{Info: "y"})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if ring1.Len() != 2 {
+		t.Error("Multi stopped at first error; all loggers must be attempted")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	if err := Discard.Log(Record{}); err != nil {
+		t.Errorf("Discard.Log = %v", err)
+	}
+}
+
+func infos(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Info
+	}
+	return out
+}

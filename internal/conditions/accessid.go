@@ -1,0 +1,96 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+)
+
+// userEvaluator implements pre_cond_accessid_USER: the requester must
+// be an authenticated user matching the condition value ("*" means any
+// authenticated user, as in the paper's section 7.1 local policy). It
+// is a requirement: failure denies with an authentication challenge, so
+// the web server can answer HTTP_AUTHREQUIRED.
+type userEvaluator struct{}
+
+func (userEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	user, ok := req.Params.Get(gaa.ParamUser, cond.DefAuth)
+	if !ok || user == "" {
+		return gaa.Outcome{
+			Result:    gaa.No,
+			Class:     gaa.ClassRequirement,
+			Challenge: fmt.Sprintf("Basic realm=%q", cond.DefAuth),
+			Detail:    "no authenticated user",
+		}
+	}
+	for _, want := range strings.Fields(cond.Value) {
+		if eacl.Glob(want, user) {
+			return gaa.MetOutcome(gaa.ClassRequirement, "user "+user)
+		}
+	}
+	return gaa.Outcome{
+		Result:    gaa.No,
+		Class:     gaa.ClassRequirement,
+		Challenge: fmt.Sprintf("Basic realm=%q", cond.DefAuth),
+		Detail:    fmt.Sprintf("user %q not in %q", user, cond.Value),
+	}
+}
+
+// groupEvaluator implements pre_cond_accessid_GROUP: membership of the
+// requester's group key (client address by default, or the
+// authenticated user) in a named group — the section 7.2 BadGuys
+// blacklist check. It is a selector: a non-member simply makes the
+// entry inapplicable.
+type groupEvaluator struct {
+	store *groups.Store
+}
+
+func (g groupEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	if g.store == nil {
+		return gaa.UnevaluatedOutcome("no group store configured")
+	}
+	group := strings.TrimSpace(cond.Value)
+	if group == "" {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Detail: "empty group name"}
+	}
+	// The group key is the identity checked against the member list:
+	// the explicit group_key parameter, else the authenticated user,
+	// else the client address ("reading a log file of the suspicious IP
+	// addresses and trying to find an IP address that matches", paper
+	// section 7.2).
+	for _, paramType := range []string{gaa.ParamGroupKey, gaa.ParamUser, gaa.ParamClientIP} {
+		key, ok := req.Params.Get(paramType, cond.DefAuth)
+		if !ok || key == "" {
+			continue
+		}
+		if g.store.Contains(group, key) {
+			return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("%s in group %s", key, group))
+		}
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "not a member of "+group)
+}
+
+// hostEvaluator implements pre_cond_accessid_HOST: the client host
+// (name or address) must glob-match one of the condition patterns. It
+// is a selector.
+type hostEvaluator struct{}
+
+func (hostEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	host, ok := req.Params.Get(gaa.ParamClientHost, cond.DefAuth)
+	if !ok || host == "" {
+		host, ok = req.Params.Get(gaa.ParamClientIP, cond.DefAuth)
+	}
+	if !ok || host == "" {
+		return gaa.UnevaluatedOutcome("no client host parameter")
+	}
+	for _, want := range strings.Fields(cond.Value) {
+		if eacl.Glob(want, host) {
+			return gaa.MetOutcome(gaa.ClassSelector, "host "+host)
+		}
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("host %q does not match %q", host, cond.Value))
+}

@@ -1,0 +1,93 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+)
+
+// BenchmarkEvaluators measures each built-in condition evaluator in
+// isolation — the per-condition cost underlying E5's per-entry
+// numbers.
+func BenchmarkEvaluators(b *testing.B) {
+	var (
+		threat   = ids.NewManager(ids.Medium)
+		grp      = groups.NewStore()
+		counters = NewCounters(nil)
+		sigs     = ids.NewDB(ids.DefaultSignatures()...)
+	)
+	grp.Add("BadGuys", "10.0.0.66")
+	for i := 0; i < 3; i++ {
+		counters.Add(CounterKey("failed_login", "10.0.0.66"))
+	}
+
+	params := gaa.ParamList{
+		{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: "10.0.0.66"},
+		{Type: gaa.ParamClientHost, Authority: gaa.AuthorityAny, Value: "host.example.org"},
+		{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: "GET /cgi-bin/phf?Qalias=x"},
+		{Type: gaa.ParamUser, Authority: gaa.AuthorityAny, Value: "alice"},
+		{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: "128"},
+	}
+	req := &gaa.Request{
+		Rights: []eacl.Right{{Sign: eacl.Pos, DefAuth: "apache", Value: "GET /x"}},
+		Params: params,
+		Time:   time.Date(2003, 5, 19, 14, 30, 0, 0, time.UTC),
+	}
+
+	cases := []struct {
+		name    string
+		typ     string
+		defAuth string
+		value   string
+	}{
+		{"accessid_USER", "accessid_USER", "apache", "*"},
+		{"accessid_GROUP", "accessid_GROUP", "local", "BadGuys"},
+		{"accessid_HOST", "accessid_HOST", "local", "*.example.org"},
+		{"system_threat_level", "system_threat_level", "local", ">low"},
+		{"time_window", "time_window", "local", "09:00-17:00 Mon-Fri"},
+		{"location_cidr", "location", "local", "10.0.0.0/8"},
+		{"regex_glob", "regex", "gnu", "*phf* *test-cgi*"},
+		{"regex_re", "regex", "gnu", "re:/cgi-bin/(phf|test-cgi)"},
+		{"signature_db", "signature", "local", "*"},
+		{"expr", "expr", "local", "input_length>1000"},
+		{"threshold", "threshold", "local", "counter=failed_login key=client_ip max=3 window=60s"},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ev, ok := Builtin(tc.typ, Deps{
+				Threat:     threat,
+				Groups:     grp,
+				Counters:   counters,
+				Signatures: sigs,
+			})
+			if !ok {
+				b.Fatalf("no builtin %q", tc.typ)
+			}
+			cond := eacl.Condition{
+				Block: eacl.BlockPre, Type: tc.typ, DefAuth: tc.defAuth, Value: tc.value,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := ev.Evaluate(context.Background(), cond, req)
+				if out.Err != nil {
+					b.Fatalf("evaluator error: %v", out.Err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkThresholdCounterAdd(b *testing.B) {
+	c := NewCounters(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(CounterKey("k", fmt.Sprintf("10.0.0.%d", i%250)))
+	}
+}

@@ -1,0 +1,91 @@
+package conditions
+
+import (
+	"fmt"
+	"strings"
+)
+
+// comparator is a parsed relational operator.
+type comparator int
+
+const (
+	cmpEq comparator = iota + 1
+	cmpNe
+	cmpLt
+	cmpLe
+	cmpGt
+	cmpGe
+)
+
+// splitCmp splits an expression like "<=50" or "cpu_ms<=50" into the
+// left operand (possibly empty), the comparator and the right operand.
+func splitCmp(s string) (left string, op comparator, right string, err error) {
+	ops := []struct {
+		token string
+		op    comparator
+	}{
+		// Two-character operators first.
+		{"<=", cmpLe}, {">=", cmpGe}, {"!=", cmpNe}, {"==", cmpEq},
+		{"<", cmpLt}, {">", cmpGt}, {"=", cmpEq},
+	}
+	for _, o := range ops {
+		if i := strings.Index(s, o.token); i >= 0 {
+			return strings.TrimSpace(s[:i]), o.op, strings.TrimSpace(s[i+len(o.token):]), nil
+		}
+	}
+	return "", 0, "", fmt.Errorf("no comparator in %q", s)
+}
+
+// holdsInt applies the comparator to integers.
+func (c comparator) holdsInt(left, right int64) bool {
+	switch c {
+	case cmpEq:
+		return left == right
+	case cmpNe:
+		return left != right
+	case cmpLt:
+		return left < right
+	case cmpLe:
+		return left <= right
+	case cmpGt:
+		return left > right
+	case cmpGe:
+		return left >= right
+	default:
+		return false
+	}
+}
+
+// String returns the operator token.
+func (c comparator) String() string {
+	switch c {
+	case cmpEq:
+		return "="
+	case cmpNe:
+		return "!="
+	case cmpLt:
+		return "<"
+	case cmpLe:
+		return "<="
+	case cmpGt:
+		return ">"
+	case cmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("comparator(%d)", int(c))
+	}
+}
+
+// parseKV parses "k=v k=v ..." condition values. Keys without '=' are
+// rejected.
+func parseKV(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("want key=value, got %q", f)
+		}
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package conditions
+
+import "testing"
+
+func TestSplitCmp(t *testing.T) {
+	tests := []struct {
+		in        string
+		wantLeft  string
+		wantOp    comparator
+		wantRight string
+		wantErr   bool
+	}{
+		{"=high", "", cmpEq, "high", false},
+		{">low", "", cmpGt, "low", false},
+		{"<=medium", "", cmpLe, "medium", false},
+		{">=medium", "", cmpGe, "medium", false},
+		{"!=low", "", cmpNe, "low", false},
+		{"==low", "", cmpEq, "low", false},
+		{"input_length>1000", "input_length", cmpGt, "1000", false},
+		{"cpu_ms <= 50", "cpu_ms", cmpLe, "50", false},
+		{"nocomparator", "", 0, "", true},
+	}
+	for _, tt := range tests {
+		left, op, right, err := splitCmp(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("splitCmp(%q) err = %v", tt.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if left != tt.wantLeft || op != tt.wantOp || right != tt.wantRight {
+			t.Errorf("splitCmp(%q) = %q %v %q, want %q %v %q",
+				tt.in, left, op, right, tt.wantLeft, tt.wantOp, tt.wantRight)
+		}
+	}
+}
+
+func TestComparatorHoldsInt(t *testing.T) {
+	tests := []struct {
+		op   comparator
+		l, r int64
+		want bool
+	}{
+		{cmpEq, 5, 5, true}, {cmpEq, 5, 6, false},
+		{cmpNe, 5, 6, true}, {cmpNe, 5, 5, false},
+		{cmpLt, 4, 5, true}, {cmpLt, 5, 5, false},
+		{cmpLe, 5, 5, true}, {cmpLe, 6, 5, false},
+		{cmpGt, 6, 5, true}, {cmpGt, 5, 5, false},
+		{cmpGe, 5, 5, true}, {cmpGe, 4, 5, false},
+		{comparator(0), 1, 1, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.holdsInt(tt.l, tt.r); got != tt.want {
+			t.Errorf("%v.holdsInt(%d, %d) = %v, want %v", tt.op, tt.l, tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestComparatorString(t *testing.T) {
+	for op, want := range map[comparator]string{
+		cmpEq: "=", cmpNe: "!=", cmpLt: "<", cmpLe: "<=", cmpGt: ">", cmpGe: ">=",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if comparator(9).String() != "comparator(9)" {
+		t.Error("unknown comparator String mismatch")
+	}
+}
+
+func TestParseKV(t *testing.T) {
+	kv, err := parseKV("counter=failed_login key=client_ip max=5 window=60s")
+	if err != nil {
+		t.Fatalf("parseKV: %v", err)
+	}
+	if kv["counter"] != "failed_login" || kv["window"] != "60s" {
+		t.Errorf("kv = %v", kv)
+	}
+	if _, err := parseKV("naked"); err == nil {
+		t.Error("want error for non k=v token")
+	}
+	if _, err := parseKV("=v"); err == nil {
+		t.Error("want error for empty key")
+	}
+	empty, err := parseKV("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("parseKV(\"\") = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,382 @@
+package conditions
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+)
+
+// harness wires an API with every built-in evaluator plus controllable
+// substrate state.
+type harness struct {
+	api      *gaa.API
+	threat   *ids.Manager
+	groups   *groups.Store
+	counters *Counters
+	clock    *fakeClock
+}
+
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	clk := &fakeClock{now: time.Date(2003, 5, 19, 14, 30, 0, 0, time.UTC)} // a Monday
+	h := &harness{
+		threat:   ids.NewManager(ids.Low),
+		groups:   groups.NewStore(),
+		counters: NewCounters(clk.Now),
+		clock:    clk,
+	}
+	h.api = gaa.New(gaa.WithClock(clk.Now))
+	Register(h.api, Deps{
+		Threat:     h.threat,
+		Groups:     h.groups,
+		Counters:   h.counters,
+		Signatures: ids.NewDB(ids.DefaultSignatures()...),
+	})
+	return h
+}
+
+// eval evaluates one condition directly through a minimal policy: a
+// pos entry guarded by the condition. Result Yes means condition met,
+// fall-through to the trailing neg entry means condition failed
+// (selector), and the answer exposes maybe/challenge states.
+func (h *harness) eval(t *testing.T, condLine string, params ...gaa.Param) *gaa.Answer {
+	t.Helper()
+	src := "pos_access_right apache *\n" + condLine + "\nneg_access_right apache *\n"
+	e, err := eacl.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse policy: %v", err)
+	}
+	p := gaa.NewPolicy("/x", nil, []*eacl.EACL{e})
+	req := gaa.NewRequest("apache", "GET /x", params...)
+	ans, err := h.api.CheckAuthorization(context.Background(), p, req)
+	if err != nil {
+		t.Fatalf("CheckAuthorization: %v", err)
+	}
+	return ans
+}
+
+func ipParam(ip string) gaa.Param {
+	return gaa.Param{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: ip}
+}
+
+func userParam(user string) gaa.Param {
+	return gaa.Param{Type: gaa.ParamUser, Authority: gaa.AuthorityAny, Value: user}
+}
+
+func uriParam(uri string) gaa.Param {
+	return gaa.Param{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: uri}
+}
+
+func TestAccessIDUser(t *testing.T) {
+	h := newHarness(t)
+	// Any authenticated user.
+	if ans := h.eval(t, "pre_cond_accessid_USER apache *", userParam("alice")); ans.Decision != gaa.Yes {
+		t.Errorf("authenticated: %v, want yes", ans.Decision)
+	}
+	// Unauthenticated: requirement failure with challenge (final no).
+	ans := h.eval(t, "pre_cond_accessid_USER apache *")
+	if ans.Decision != gaa.No || ans.Challenge == "" {
+		t.Errorf("unauthenticated: %v challenge=%q, want no + challenge", ans.Decision, ans.Challenge)
+	}
+	// Specific users.
+	if ans := h.eval(t, "pre_cond_accessid_USER apache alice bob", userParam("bob")); ans.Decision != gaa.Yes {
+		t.Errorf("listed user: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_accessid_USER apache alice bob", userParam("mallory")); ans.Decision != gaa.No {
+		t.Errorf("unlisted user: %v, want no", ans.Decision)
+	}
+}
+
+func TestAccessIDGroup(t *testing.T) {
+	h := newHarness(t)
+	h.groups.Add("BadGuys", "10.0.0.66")
+	// Member by client IP (paper 7.2): condition met -> entry fires.
+	if ans := h.eval(t, "pre_cond_accessid_GROUP local BadGuys", ipParam("10.0.0.66")); ans.Decision != gaa.Yes {
+		t.Errorf("member: %v, want yes", ans.Decision)
+	}
+	// Non-member: selector fails, falls to the neg entry.
+	if ans := h.eval(t, "pre_cond_accessid_GROUP local BadGuys", ipParam("10.0.0.1")); ans.Decision != gaa.No {
+		t.Errorf("non-member: %v, want fall-through deny", ans.Decision)
+	}
+	// Member by user identity.
+	h.groups.Add("staff", "alice")
+	if ans := h.eval(t, "pre_cond_accessid_GROUP local staff", userParam("alice")); ans.Decision != gaa.Yes {
+		t.Errorf("user member: %v, want yes", ans.Decision)
+	}
+	// Empty group name is unevaluable.
+	if ans := h.eval(t, "pre_cond_accessid_GROUP local", ipParam("1.2.3.4")); ans.Decision != gaa.Maybe {
+		t.Errorf("empty group: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestAccessIDGroupNoStore(t *testing.T) {
+	api := gaa.New()
+	Register(api, Deps{})
+	e, _ := eacl.ParseString("pos_access_right apache *\npre_cond_accessid_GROUP local g")
+	p := gaa.NewPolicy("/x", nil, []*eacl.EACL{e})
+	ans, err := api.CheckAuthorization(context.Background(), p, gaa.NewRequest("apache", "GET /x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Decision != gaa.Maybe {
+		t.Errorf("no store: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestAccessIDHost(t *testing.T) {
+	h := newHarness(t)
+	hostParam := gaa.Param{Type: gaa.ParamClientHost, Authority: gaa.AuthorityAny, Value: "web1.isi.edu"}
+	if ans := h.eval(t, "pre_cond_accessid_HOST local *.isi.edu", hostParam); ans.Decision != gaa.Yes {
+		t.Errorf("matching host: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_accessid_HOST local *.isi.edu", ipParam("10.0.0.5")); ans.Decision != gaa.No {
+		t.Errorf("non-matching: %v, want fall-through deny", ans.Decision)
+	}
+	// Falls back to client IP when no hostname known.
+	if ans := h.eval(t, "pre_cond_accessid_HOST local 128.9.*", ipParam("128.9.1.2")); ans.Decision != gaa.Yes {
+		t.Errorf("ip fallback: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_accessid_HOST local *.isi.edu"); ans.Decision != gaa.Maybe {
+		t.Errorf("no host info: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestSystemThreatLevel(t *testing.T) {
+	h := newHarness(t)
+	tests := []struct {
+		level ids.Level
+		cond  string
+		want  gaa.Decision
+	}{
+		{ids.High, "pre_cond_system_threat_level local =high", gaa.Yes},
+		{ids.Low, "pre_cond_system_threat_level local =high", gaa.No},
+		{ids.Medium, "pre_cond_system_threat_level local >low", gaa.Yes},
+		{ids.Low, "pre_cond_system_threat_level local >low", gaa.No},
+		{ids.Medium, "pre_cond_system_threat_level local <=medium", gaa.Yes},
+		{ids.High, "pre_cond_system_threat_level local !=high", gaa.No},
+	}
+	for _, tt := range tests {
+		h.threat.Set(tt.level)
+		if ans := h.eval(t, tt.cond); ans.Decision != tt.want {
+			t.Errorf("level=%v cond=%q: %v, want %v", tt.level, tt.cond, ans.Decision, tt.want)
+		}
+	}
+	// Malformed conditions are unevaluable, not denials.
+	if ans := h.eval(t, "pre_cond_system_threat_level local high"); ans.Decision != gaa.Maybe {
+		t.Errorf("missing comparator: %v, want maybe", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_system_threat_level local =critical"); ans.Decision != gaa.Maybe {
+		t.Errorf("unknown level: %v, want maybe", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_system_threat_level local x=high"); ans.Decision != gaa.Maybe {
+		t.Errorf("left operand: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	h := newHarness(t) // clock: Monday 14:30 UTC
+	tests := []struct {
+		cond string
+		want gaa.Decision
+	}{
+		{"pre_cond_time_window local 09:00-17:00", gaa.Yes},
+		{"pre_cond_time_window local 17:00-09:00", gaa.No}, // wrapped window excludes 14:30
+		{"pre_cond_time_window local 22:00-06:00", gaa.No},
+		{"pre_cond_time_window local 14:30-14:31", gaa.Yes}, // inclusive start
+		{"pre_cond_time_window local 09:00-14:30", gaa.No},  // exclusive end
+		{"pre_cond_time_window local 09:00-17:00 Mon-Fri", gaa.Yes},
+		{"pre_cond_time_window local 09:00-17:00 Sat,Sun", gaa.No},
+		{"pre_cond_time_window local 09:00-17:00 Mon", gaa.Yes},
+		{"pre_cond_time_window local 09:00-17:00 Sat-Mon", gaa.Yes}, // wrapped day range
+		{"pre_cond_time_window local garbage", gaa.Maybe},
+		{"pre_cond_time_window local 09:00-17:00 Noday", gaa.Maybe},
+		{"pre_cond_time_window local 9am-5pm", gaa.Maybe},
+		{"pre_cond_time_window local", gaa.Maybe},
+	}
+	for _, tt := range tests {
+		if ans := h.eval(t, tt.cond); ans.Decision != tt.want {
+			t.Errorf("%q: %v, want %v", tt.cond, ans.Decision, tt.want)
+		}
+	}
+	// Night-shift wrap: advance to 23:00.
+	h.clock.Advance(8*time.Hour + 30*time.Minute)
+	if ans := h.eval(t, "pre_cond_time_window local 22:00-06:00"); ans.Decision != gaa.Yes {
+		t.Errorf("23:00 in 22:00-06:00: %v, want yes", ans.Decision)
+	}
+}
+
+func TestLocation(t *testing.T) {
+	h := newHarness(t)
+	tests := []struct {
+		cond string
+		ip   string
+		want gaa.Decision
+	}{
+		{"pre_cond_location local 128.9.0.0/16", "128.9.64.2", gaa.Yes},
+		{"pre_cond_location local 128.9.0.0/16", "128.10.0.1", gaa.No},
+		{"pre_cond_location local 10.0.0.* 192.168.*", "192.168.4.4", gaa.Yes},
+		{"pre_cond_location local 10.0.0.*", "10.0.1.1", gaa.No},
+		{"pre_cond_location local 128.9.0.0/16 10.0.0.1", "10.0.0.1", gaa.Yes},
+		{"pre_cond_location local bad/cidr", "10.0.0.1", gaa.Maybe},
+		{"pre_cond_location local", "10.0.0.1", gaa.Maybe},
+	}
+	for _, tt := range tests {
+		if ans := h.eval(t, tt.cond, ipParam(tt.ip)); ans.Decision != tt.want {
+			t.Errorf("%q ip=%s: %v, want %v", tt.cond, tt.ip, ans.Decision, tt.want)
+		}
+	}
+	if ans := h.eval(t, "pre_cond_location local 10.0.0.0/8"); ans.Decision != gaa.Maybe {
+		t.Errorf("no client ip: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestRegexPaperSignatures(t *testing.T) {
+	h := newHarness(t)
+	// Paper 7.2: pre_cond_regex gnu *phf* *test-cgi*
+	const cond = "pre_cond_regex gnu *phf* *test-cgi*"
+	if ans := h.eval(t, cond, uriParam("GET /cgi-bin/phf?Q=x")); ans.Decision != gaa.Yes {
+		t.Errorf("phf: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, cond, uriParam("GET /cgi-bin/test-cgi")); ans.Decision != gaa.Yes {
+		t.Errorf("test-cgi: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, cond, uriParam("GET /index.html")); ans.Decision != gaa.No {
+		t.Errorf("benign: %v, want fall-through deny", ans.Decision)
+	}
+	// Real regexp syntax behind the re: prefix.
+	if ans := h.eval(t, `pre_cond_regex gnu re:/{10,}`, uriParam("GET /"+"//////////x")); ans.Decision != gaa.Yes {
+		t.Errorf("re: pattern: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, `pre_cond_regex gnu re:[invalid`, uriParam("GET /x")); ans.Decision != gaa.Maybe {
+		t.Errorf("bad re: %v, want maybe", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_regex gnu *x*"); ans.Decision != gaa.Maybe {
+		t.Errorf("no uri param: %v, want maybe", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_regex gnu", uriParam("GET /")); ans.Decision != gaa.Maybe {
+		t.Errorf("empty patterns: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestSignatureDatabase(t *testing.T) {
+	h := newHarness(t)
+	if ans := h.eval(t, "pre_cond_signature local *", uriParam("GET /cgi-bin/phf")); ans.Decision != gaa.Yes {
+		t.Errorf("any signature: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_signature local nimda", uriParam("GET /x/..%c0%af../cmd")); ans.Decision != gaa.Yes {
+		t.Errorf("named signature: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_signature local nimda", uriParam("GET /cgi-bin/phf")); ans.Decision != gaa.No {
+		t.Errorf("wrong named signature: %v, want fall-through deny", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_signature local *", uriParam("GET /index.html")); ans.Decision != gaa.No {
+		t.Errorf("benign: %v, want fall-through deny", ans.Decision)
+	}
+}
+
+func TestExpr(t *testing.T) {
+	h := newHarness(t)
+	lenParam := func(n string) gaa.Param {
+		return gaa.Param{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: n}
+	}
+	// Paper 7.2: detect CGI input longer than 1000 characters.
+	if ans := h.eval(t, "pre_cond_expr local input_length>1000", lenParam("1500")); ans.Decision != gaa.Yes {
+		t.Errorf("overflow: %v, want yes", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_expr local input_length>1000", lenParam("900")); ans.Decision != gaa.No {
+		t.Errorf("normal: %v, want fall-through deny", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_expr local input_length>1000"); ans.Decision != gaa.Maybe {
+		t.Errorf("missing param: %v, want maybe", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_expr local >1000", lenParam("1500")); ans.Decision != gaa.Maybe {
+		t.Errorf("no param name: %v, want maybe", ans.Decision)
+	}
+	if ans := h.eval(t, "pre_cond_expr local input_length>abc", lenParam("5")); ans.Decision != gaa.Maybe {
+		t.Errorf("bad number: %v, want maybe", ans.Decision)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	h := newHarness(t)
+	const cond = "pre_cond_threshold local counter=failed_login key=client_ip max=3 window=60s"
+	ip := ipParam("10.0.0.9")
+
+	if ans := h.eval(t, cond, ip); ans.Decision != gaa.No {
+		t.Errorf("zero events: %v, want fall-through deny", ans.Decision)
+	}
+	for i := 0; i < 3; i++ {
+		h.counters.Add(CounterKey("failed_login", "10.0.0.9"))
+	}
+	if ans := h.eval(t, cond, ip); ans.Decision != gaa.Yes {
+		t.Errorf("threshold reached: %v, want yes", ans.Decision)
+	}
+	// Another client is unaffected.
+	if ans := h.eval(t, cond, ipParam("10.0.0.10")); ans.Decision != gaa.No {
+		t.Errorf("other client: %v, want fall-through deny", ans.Decision)
+	}
+	// Events age out of the window.
+	h.clock.Advance(2 * time.Minute)
+	if ans := h.eval(t, cond, ip); ans.Decision != gaa.No {
+		t.Errorf("expired events: %v, want fall-through deny", ans.Decision)
+	}
+	// Malformed specs are unevaluable.
+	for _, bad := range []string{
+		"pre_cond_threshold local counter=x key=client_ip max=0 window=60s",
+		"pre_cond_threshold local counter=x key=client_ip max=3 window=nope",
+		"pre_cond_threshold local key=client_ip max=3 window=60s",
+		"pre_cond_threshold local counter=x max=3 window=60s",
+		"pre_cond_threshold local garbage",
+	} {
+		if ans := h.eval(t, bad, ip); ans.Decision != gaa.Maybe {
+			t.Errorf("%q: %v, want maybe", bad, ans.Decision)
+		}
+	}
+}
+
+func TestCountersResetAndPrune(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCounters(clk.Now)
+	c.Add("k")
+	c.Add("k")
+	if n := c.CountSince("k", time.Minute); n != 2 {
+		t.Errorf("count = %d, want 2", n)
+	}
+	c.Reset("k")
+	if n := c.CountSince("k", time.Minute); n != 0 {
+		t.Errorf("count after reset = %d, want 0", n)
+	}
+	c.Add("k")
+	clk.Advance(time.Hour)
+	if n := c.CountSince("k", time.Minute); n != 0 {
+		t.Errorf("count after expiry = %d, want 0", n)
+	}
+	if NewCounters(nil) == nil {
+		t.Error("NewCounters(nil) should default the clock")
+	}
+}
+
+func TestRedirect(t *testing.T) {
+	h := newHarness(t)
+	ans := h.eval(t, "pre_cond_redirect local http://replica.example.org/")
+	if ans.Decision != gaa.Maybe {
+		t.Fatalf("redirect: %v, want maybe", ans.Decision)
+	}
+	cond, ok := ans.UnevaluatedOnly("redirect")
+	if !ok {
+		t.Fatalf("UnevaluatedOnly(redirect) failed: %v", ans.Unevaluated)
+	}
+	if cond.Value != "http://replica.example.org/" {
+		t.Errorf("redirect URL = %q", cond.Value)
+	}
+}

@@ -1,0 +1,70 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+)
+
+// exprEvaluator implements pre_cond_expr: a numeric comparison over a
+// request parameter, e.g. "input_length>1000" — the paper's buffer-
+// overflow detector ("checks that the length of input to a CGI script
+// is no longer than 1000 characters", section 7.2). It is a selector.
+type exprEvaluator struct{}
+
+func (exprEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	left, op, right, err := splitCmp(cond.Value)
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err}
+	}
+	if left == "" {
+		return gaa.Outcome{
+			Result: gaa.Maybe, Unevaluated: true,
+			Err: fmt.Errorf("expr needs a parameter name: %q", cond.Value),
+		}
+	}
+	want, err := strconv.ParseInt(right, 10, 64)
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: fmt.Errorf("bad number %q", right)}
+	}
+	got, ok := req.Params.GetInt(left, cond.DefAuth)
+	if !ok {
+		return gaa.UnevaluatedOutcome("no numeric parameter " + left)
+	}
+	if op.holdsInt(got, want) {
+		return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("%s=%d %s %d", left, got, op, want))
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("%s=%d not %s %d", left, got, op, want))
+}
+
+// quotaEvaluator implements mid_cond_quota: a usage limit that must
+// hold during operation execution, e.g. "cpu_ms<=50" — the paper's
+// "CPU usage threshold that must hold during the operation execution"
+// (section 2). It is a requirement: a violated quota is a final NO for
+// the execution-control phase.
+type quotaEvaluator struct{}
+
+func (quotaEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	left, op, right, err := splitCmp(cond.Value)
+	if err != nil || left == "" {
+		if err == nil {
+			err = fmt.Errorf("quota needs a usage parameter: %q", cond.Value)
+		}
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err}
+	}
+	limit, err := strconv.ParseInt(right, 10, 64)
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: fmt.Errorf("bad limit %q", right)}
+	}
+	got, ok := req.Params.GetInt(left, cond.DefAuth)
+	if !ok {
+		return gaa.UnevaluatedOutcome("no usage parameter " + left)
+	}
+	if op.holdsInt(got, limit) {
+		return gaa.MetOutcome(gaa.ClassRequirement, fmt.Sprintf("%s=%d within %s%d", left, got, op, limit))
+	}
+	return gaa.FailedOutcome(gaa.ClassRequirement, fmt.Sprintf("%s=%d violates %s%d", left, got, op, limit))
+}

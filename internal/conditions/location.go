@@ -1,0 +1,45 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+)
+
+// locationEvaluator implements pre_cond_location: the client address
+// must fall inside one of the listed CIDR ranges or glob patterns
+// (the paper's "Allow from 128.9/" host restriction shape). It is a
+// selector.
+type locationEvaluator struct{}
+
+func (locationEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	ip, ok := req.Params.Get(gaa.ParamClientIP, cond.DefAuth)
+	if !ok || ip == "" {
+		return gaa.UnevaluatedOutcome("no client address parameter")
+	}
+	patterns := strings.Fields(cond.Value)
+	if len(patterns) == 0 {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Detail: "empty location list"}
+	}
+	parsed := net.ParseIP(ip)
+	for _, p := range patterns {
+		if strings.Contains(p, "/") {
+			_, ipnet, err := net.ParseCIDR(p)
+			if err != nil {
+				return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: fmt.Errorf("bad CIDR %q: %w", p, err)}
+			}
+			if parsed != nil && ipnet.Contains(parsed) {
+				return gaa.MetOutcome(gaa.ClassSelector, ip+" in "+p)
+			}
+			continue
+		}
+		if eacl.Glob(p, ip) {
+			return gaa.MetOutcome(gaa.ClassSelector, ip+" matches "+p)
+		}
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, ip+" outside "+cond.Value)
+}

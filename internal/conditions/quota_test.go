@@ -1,0 +1,127 @@
+package conditions
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+)
+
+// evalMid runs a mid-condition through the execution-control phase.
+func evalMid(t *testing.T, condLine string, usage ...gaa.Param) gaa.Decision {
+	t.Helper()
+	h := newHarness(t)
+	e, err := eacl.ParseString("pos_access_right apache *\n" + condLine + "\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p := gaa.NewPolicy("/x", nil, []*eacl.EACL{e})
+	req := gaa.NewRequest("apache", "GET /x")
+	ans, err := h.api.CheckAuthorization(context.Background(), p, req)
+	if err != nil {
+		t.Fatalf("CheckAuthorization: %v", err)
+	}
+	dec, _ := h.api.ExecutionControl(context.Background(), ans, req, usage...)
+	return dec
+}
+
+func usageParam(typ, val string) gaa.Param {
+	return gaa.Param{Type: typ, Authority: gaa.AuthorityAny, Value: val}
+}
+
+func TestQuotaMidCondition(t *testing.T) {
+	tests := []struct {
+		name  string
+		cond  string
+		usage []gaa.Param
+		want  gaa.Decision
+	}{
+		{"cpu within", "mid_cond_quota local cpu_ms<=50", []gaa.Param{usageParam(gaa.ParamCPUMillis, "20")}, gaa.Yes},
+		{"cpu violated", "mid_cond_quota local cpu_ms<=50", []gaa.Param{usageParam(gaa.ParamCPUMillis, "80")}, gaa.No},
+		{"output within", "mid_cond_quota local output_bytes<4096", []gaa.Param{usageParam(gaa.ParamOutputBytes, "100")}, gaa.Yes},
+		{"output violated", "mid_cond_quota local output_bytes<4096", []gaa.Param{usageParam(gaa.ParamOutputBytes, "9999")}, gaa.No},
+		{"wall violated", "mid_cond_quota local wall_ms<=1000", []gaa.Param{usageParam(gaa.ParamWallMillis, "5000")}, gaa.No},
+		{"missing usage", "mid_cond_quota local cpu_ms<=50", nil, gaa.Maybe},
+		{"no param name", "mid_cond_quota local <=50", []gaa.Param{usageParam(gaa.ParamCPUMillis, "20")}, gaa.Maybe},
+		{"bad limit", "mid_cond_quota local cpu_ms<=many", []gaa.Param{usageParam(gaa.ParamCPUMillis, "20")}, gaa.Maybe},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := evalMid(t, tt.cond, tt.usage...); got != tt.want {
+				t.Errorf("%q = %v, want %v", tt.cond, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFileSHA256PostCondition(t *testing.T) {
+	h := newHarness(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "passwd")
+	if err := os.WriteFile(path, []byte("root:x:0:0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := HashFile(path)
+	if err != nil {
+		t.Fatalf("HashFile: %v", err)
+	}
+
+	e, err := eacl.ParseString(
+		"pos_access_right apache *\npost_cond_file_sha256 local " + path + " " + digest + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gaa.NewPolicy("/x", nil, []*eacl.EACL{e})
+	req := gaa.NewRequest("apache", "GET /x")
+	ans, err := h.api.CheckAuthorization(context.Background(), p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmodified file: post-conditions pass.
+	if dec, _ := h.api.PostExecutionActions(context.Background(), ans, req, gaa.Yes); dec != gaa.Yes {
+		t.Errorf("unchanged file: %v, want yes", dec)
+	}
+
+	// Tampered file: post-conditions fail.
+	if err := os.WriteFile(path, []byte("root::0:0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if dec, _ := h.api.PostExecutionActions(context.Background(), ans, req, gaa.Yes); dec != gaa.No {
+		t.Errorf("tampered file: %v, want no", dec)
+	}
+
+	// Unreadable file counts as a violation.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if dec, _ := h.api.PostExecutionActions(context.Background(), ans, req, gaa.Yes); dec != gaa.No {
+		t.Errorf("missing file: %v, want no", dec)
+	}
+}
+
+func TestFileSHA256BadValue(t *testing.T) {
+	h := newHarness(t)
+	e, err := eacl.ParseString("pos_access_right apache *\npost_cond_file_sha256 local onlyonefield\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gaa.NewPolicy("/x", nil, []*eacl.EACL{e})
+	req := gaa.NewRequest("apache", "GET /x")
+	ans, err := h.api.CheckAuthorization(context.Background(), p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec, _ := h.api.PostExecutionActions(context.Background(), ans, req, gaa.Yes); dec != gaa.Maybe {
+		t.Errorf("malformed condition: %v, want maybe", dec)
+	}
+}
+
+func TestHashFileErrors(t *testing.T) {
+	if _, err := HashFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,98 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/ids"
+)
+
+// regexEvaluator implements pre_cond_regex: the request line must match
+// one of the listed patterns — '*'-glob patterns as in the paper's
+// examples ("*phf* *test-cgi*"), or full Go regular expressions when
+// prefixed with "re:". It is a selector: on a neg entry a match fires
+// the denial, no match falls through (paper section 7.2).
+type regexEvaluator struct{}
+
+// compiled caches "re:" patterns; glob patterns need no compilation.
+var (
+	regexMu    sync.RWMutex
+	regexCache = make(map[string]*regexp.Regexp)
+)
+
+func (regexEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	subject, ok := req.Params.Get(gaa.ParamRequestURI, cond.DefAuth)
+	if !ok {
+		return gaa.UnevaluatedOutcome("no request_uri parameter")
+	}
+	patterns := strings.Fields(cond.Value)
+	if len(patterns) == 0 {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Detail: "empty pattern list"}
+	}
+	for _, p := range patterns {
+		if expr, isRe := strings.CutPrefix(p, "re:"); isRe {
+			re, err := compileCached(expr)
+			if err != nil {
+				return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err}
+			}
+			if re.MatchString(subject) {
+				return gaa.MetOutcome(gaa.ClassSelector, "regexp "+expr+" matched")
+			}
+			continue
+		}
+		if eacl.Glob(p, subject) {
+			return gaa.MetOutcome(gaa.ClassSelector, "pattern "+p+" matched")
+		}
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "no pattern matched")
+}
+
+func compileCached(expr string) (*regexp.Regexp, error) {
+	regexMu.RLock()
+	re, ok := regexCache[expr]
+	regexMu.RUnlock()
+	if ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("bad regexp %q: %w", expr, err)
+	}
+	regexMu.Lock()
+	regexCache[expr] = re
+	regexMu.Unlock()
+	return re, nil
+}
+
+// signatureEvaluator implements pre_cond_signature: the request line
+// must match a signature in the shared IDS signature database — either
+// the named signature or any ("*"). This extends the paper's inline
+// regex conditions with centrally-managed signatures. Selector.
+type signatureEvaluator struct {
+	db *ids.DB
+}
+
+func (s signatureEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	if s.db == nil {
+		return gaa.UnevaluatedOutcome("no signature database configured")
+	}
+	subject, ok := req.Params.Get(gaa.ParamRequestURI, cond.DefAuth)
+	if !ok {
+		return gaa.UnevaluatedOutcome("no request_uri parameter")
+	}
+	want := strings.TrimSpace(cond.Value)
+	if want == "" {
+		want = "*"
+	}
+	for _, hit := range s.db.Match(subject) {
+		if want == "*" || hit.Name == want {
+			return gaa.MetOutcome(gaa.ClassSelector, "signature "+hit.Name+" matched")
+		}
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "no signature matched")
+}

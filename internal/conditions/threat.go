@@ -1,0 +1,45 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/ids"
+)
+
+// threatEvaluator implements pre_cond_system_threat_level with values
+// like "=high", ">low" or "<=medium" (paper sections 7.1 and 7.2). It
+// is a selector: threat-level mismatches switch between the EACL's
+// disjoint policies ("a transition between the disjoint EACL entries is
+// regulated automatically by reading the system state", section 2).
+type threatEvaluator struct {
+	provider ids.LevelProvider
+}
+
+func (t threatEvaluator) Evaluate(_ context.Context, cond eacl.Condition, _ *gaa.Request) gaa.Outcome {
+	if t.provider == nil {
+		return gaa.UnevaluatedOutcome("no threat-level provider configured")
+	}
+	left, op, right, err := splitCmp(cond.Value)
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err, Detail: "bad threat condition"}
+	}
+	if left != "" {
+		return gaa.Outcome{
+			Result: gaa.Maybe, Unevaluated: true,
+			Err:    fmt.Errorf("unexpected left operand %q", left),
+			Detail: "bad threat condition",
+		}
+	}
+	want, err := ids.ParseLevel(right)
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err, Detail: "bad threat level"}
+	}
+	cur := t.provider.Level()
+	if op.holdsInt(int64(cur), int64(want)) {
+		return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("threat %s %s %s", cur, op, want))
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("threat %s not %s %s", cur, op, want))
+}

@@ -1,0 +1,123 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+)
+
+// Counters is a sliding-window event counter shared between the
+// threshold condition and the count action (package actions): actions
+// record events ("failed login"), the condition checks "the number of
+// failed login attempts within a given period of time" (paper
+// section 3, item 4).
+type Counters struct {
+	clock func() time.Time
+
+	mu     sync.Mutex
+	events map[string][]time.Time
+}
+
+// NewCounters returns an empty counter store; now defaults to time.Now.
+func NewCounters(now func() time.Time) *Counters {
+	if now == nil {
+		now = time.Now
+	}
+	return &Counters{clock: now, events: make(map[string][]time.Time)}
+}
+
+// Add records one event for key.
+func (c *Counters) Add(key string) {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events[key] = append(c.events[key], now)
+}
+
+// CountSince returns the number of events for key within the window,
+// pruning older events.
+func (c *Counters) CountSince(key string, window time.Duration) int {
+	cutoff := c.clock().Add(-window)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.events[key]
+	i := 0
+	for i < len(ts) && ts[i].Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		ts = append(ts[:0], ts[i:]...)
+		if len(ts) == 0 {
+			delete(c.events, key)
+		} else {
+			c.events[key] = ts
+		}
+	}
+	return len(ts)
+}
+
+// Reset forgets all events for key.
+func (c *Counters) Reset(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.events, key)
+}
+
+// thresholdEvaluator implements pre_cond_threshold with a value like
+//
+//	counter=failed_login key=client_ip max=5 window=60s
+//
+// It evaluates YES when the event count for (counter, key-parameter
+// value) within the window reaches max — so a neg entry carrying it
+// fires once the threshold is exceeded. It is a selector.
+type thresholdEvaluator struct {
+	counters *Counters
+}
+
+func (t thresholdEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	if t.counters == nil {
+		return gaa.UnevaluatedOutcome("no counter store configured")
+	}
+	kv, err := parseKV(cond.Value)
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err}
+	}
+	counter := kv["counter"]
+	keyParam := kv["key"]
+	if counter == "" || keyParam == "" {
+		return gaa.Outcome{
+			Result: gaa.Maybe, Unevaluated: true,
+			Err: fmt.Errorf("threshold needs counter= and key=: %q", cond.Value),
+		}
+	}
+	max, err := strconv.Atoi(kv["max"])
+	if err != nil || max <= 0 {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: fmt.Errorf("bad max %q", kv["max"])}
+	}
+	window, err := time.ParseDuration(kv["window"])
+	if err != nil || window <= 0 {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: fmt.Errorf("bad window %q", kv["window"])}
+	}
+	keyValue, ok := req.Params.Get(keyParam, cond.DefAuth)
+	if !ok || keyValue == "" {
+		return gaa.UnevaluatedOutcome("no key parameter " + keyParam)
+	}
+	n := t.counters.CountSince(CounterKey(counter, keyValue), window)
+	if n >= max {
+		return gaa.MetOutcome(gaa.ClassSelector,
+			fmt.Sprintf("%s[%s]=%d reached max %d", counter, keyValue, n, max))
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector,
+		fmt.Sprintf("%s[%s]=%d below max %d", counter, keyValue, n, max))
+}
+
+// CounterKey builds the canonical counter identity for a (counter
+// name, key value) pair; the count action uses the same scheme.
+func CounterKey(counter, keyValue string) string {
+	return counter + ":" + keyValue
+}

@@ -1,0 +1,124 @@
+package conditions
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+)
+
+// timeWindowEvaluator implements pre_cond_time_window: the request time
+// must fall inside "HH:MM-HH:MM" with an optional day restriction
+// ("Mon-Fri" or "Mon,Wed,Sat"). Windows may wrap midnight
+// ("22:00-06:00"). It is a selector — the paper's "more restrictive
+// organizational policies may be enforced after hours" switches entries
+// on it.
+type timeWindowEvaluator struct{}
+
+func (timeWindowEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+	fields := strings.Fields(cond.Value)
+	if len(fields) == 0 || len(fields) > 2 {
+		return gaa.Outcome{
+			Result: gaa.Maybe, Unevaluated: true,
+			Err: fmt.Errorf("want \"HH:MM-HH:MM [days]\", got %q", cond.Value),
+		}
+	}
+	startMin, endMin, err := parseWindow(fields[0])
+	if err != nil {
+		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err}
+	}
+	now := req.Time
+	if len(fields) == 2 {
+		ok, err := dayMatches(fields[1], now.Weekday())
+		if err != nil {
+			return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err}
+		}
+		if !ok {
+			return gaa.FailedOutcome(gaa.ClassSelector, now.Weekday().String()+" outside "+fields[1])
+		}
+	}
+	cur := now.Hour()*60 + now.Minute()
+	inside := false
+	if startMin <= endMin {
+		inside = cur >= startMin && cur < endMin
+	} else { // wraps midnight
+		inside = cur >= startMin || cur < endMin
+	}
+	if inside {
+		return gaa.MetOutcome(gaa.ClassSelector, "inside window "+fields[0])
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "outside window "+fields[0])
+}
+
+// parseWindow parses "HH:MM-HH:MM" into minutes-of-day.
+func parseWindow(s string) (start, end int, err error) {
+	from, to, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("want HH:MM-HH:MM, got %q", s)
+	}
+	if start, err = parseHHMM(from); err != nil {
+		return 0, 0, err
+	}
+	if end, err = parseHHMM(to); err != nil {
+		return 0, 0, err
+	}
+	return start, end, nil
+}
+
+func parseHHMM(s string) (int, error) {
+	t, err := time.Parse("15:04", s)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: %w", s, err)
+	}
+	return t.Hour()*60 + t.Minute(), nil
+}
+
+var dayNames = map[string]time.Weekday{
+	"sun": time.Sunday, "mon": time.Monday, "tue": time.Tuesday,
+	"wed": time.Wednesday, "thu": time.Thursday, "fri": time.Friday,
+	"sat": time.Saturday,
+}
+
+// dayMatches checks a day spec: "Mon-Fri" (range, may wrap the week) or
+// "Mon,Wed,Sat" (list) or a single day.
+func dayMatches(spec string, day time.Weekday) (bool, error) {
+	if from, to, ok := strings.Cut(spec, "-"); ok {
+		f, ferr := parseDay(from)
+		t, terr := parseDay(to)
+		if ferr != nil {
+			return false, ferr
+		}
+		if terr != nil {
+			return false, terr
+		}
+		if f <= t {
+			return day >= f && day <= t, nil
+		}
+		return day >= f || day <= t, nil // wraps the week, e.g. Sat-Mon
+	}
+	for _, part := range strings.Split(spec, ",") {
+		d, err := parseDay(part)
+		if err != nil {
+			return false, err
+		}
+		if d == day {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func parseDay(s string) (time.Weekday, error) {
+	key := strings.ToLower(strings.TrimSpace(s))
+	if len(key) > 3 {
+		key = key[:3]
+	}
+	d, ok := dayNames[key]
+	if !ok {
+		return 0, fmt.Errorf("unknown day %q", s)
+	}
+	return d, nil
+}

@@ -1,0 +1,204 @@
+// Package eacl implements the Extended Access Control List (EACL) policy
+// language of Ryutov et al., "Integrated Access Control and Intrusion
+// Detection for Web Servers" (ICDCS 2003).
+//
+// An EACL is an ordered list of entries. Each entry carries a positive or
+// negative access right and up to four ordered condition blocks:
+//
+//   - pre-conditions: what must be true for the entry to grant or deny
+//   - request-result conditions: actions activated once the decision is
+//     known (audit, notification), filtered by on:success / on:failure
+//   - mid-conditions: what must hold while the requested operation runs
+//   - post-conditions: actions activated after the operation completes
+//
+// The package provides the data model, a parser for the line-oriented
+// concrete syntax (Appendix of the paper), a canonical printer, wildcard
+// matching of access rights, and a static validator. Evaluation semantics
+// live in package gaa.
+package eacl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompositionMode describes how local policies compose with a system-wide
+// policy (paper section 2.1). The numeric values match the paper's
+// concrete syntax: composition_mode ::= "0" | "1" | "2".
+type CompositionMode int
+
+const (
+	// ModeExpand broadens local rights: access is allowed if either the
+	// system-wide or the local policy allows it (disjunction).
+	ModeExpand CompositionMode = iota
+	// ModeNarrow makes the system-wide policy mandatory: both the
+	// system-wide and the local policy must permit (conjunction).
+	ModeNarrow
+	// ModeStop applies the system-wide policy alone, ignoring local
+	// policies entirely.
+	ModeStop
+)
+
+// String returns the symbolic name used in the concrete syntax.
+func (m CompositionMode) String() string {
+	switch m {
+	case ModeExpand:
+		return "expand"
+	case ModeNarrow:
+		return "narrow"
+	case ModeStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("CompositionMode(%d)", int(m))
+	}
+}
+
+// ParseCompositionMode accepts either the numeric form of the paper's
+// grammar ("0", "1", "2") or the symbolic names used in its examples.
+func ParseCompositionMode(s string) (CompositionMode, error) {
+	switch strings.ToLower(s) {
+	case "0", "expand":
+		return ModeExpand, nil
+	case "1", "narrow":
+		return ModeNarrow, nil
+	case "2", "stop":
+		return ModeStop, nil
+	default:
+		return 0, fmt.Errorf("unknown composition mode %q", s)
+	}
+}
+
+// Sign distinguishes positive from negative access rights.
+type Sign int
+
+const (
+	// Pos marks a right that is granted when the entry applies.
+	Pos Sign = iota + 1
+	// Neg marks a right that is denied when the entry applies.
+	Neg
+)
+
+// String returns the concrete-syntax keyword for the sign.
+func (s Sign) String() string {
+	switch s {
+	case Pos:
+		return "pos_access_right"
+	case Neg:
+		return "neg_access_right"
+	default:
+		return fmt.Sprintf("Sign(%d)", int(s))
+	}
+}
+
+// Right is an access right: a (defining authority, value) pair with a
+// sign. The defining authority names who defined the right ("apache",
+// "sshd", "*"); the value names the operation, e.g. "GET /cgi-bin/*".
+type Right struct {
+	Sign    Sign
+	DefAuth string
+	Value   string
+}
+
+// String renders the right in concrete syntax.
+func (r Right) String() string {
+	return fmt.Sprintf("%s %s %s", r.Sign, r.DefAuth, r.Value)
+}
+
+// Block identifies which condition block a condition belongs to.
+type Block int
+
+const (
+	// BlockPre conditions gate the authorization decision.
+	BlockPre Block = iota + 1
+	// BlockRequestResult conditions run once the decision is known.
+	BlockRequestResult
+	// BlockMid conditions must hold during operation execution.
+	BlockMid
+	// BlockPost conditions run after the operation completes.
+	BlockPost
+)
+
+// String returns the concrete-syntax prefix for the block.
+func (b Block) String() string {
+	switch b {
+	case BlockPre:
+		return "pre_cond"
+	case BlockRequestResult:
+		return "rr_cond"
+	case BlockMid:
+		return "mid_cond"
+	case BlockPost:
+		return "post_cond"
+	default:
+		return fmt.Sprintf("Block(%d)", int(b))
+	}
+}
+
+// Condition is one condition: condition ::= cond_type def_auth value.
+// Type is the suffix after the block prefix (e.g. "system_threat_level"
+// in "pre_cond_system_threat_level"), DefAuth names the authority whose
+// evaluator interprets the value, and Value is the remainder of the line.
+type Condition struct {
+	Block   Block
+	Type    string
+	DefAuth string
+	Value   string
+	// Line is the 1-based source line, 0 for programmatic conditions.
+	Line int
+}
+
+// String renders the condition in concrete syntax.
+func (c Condition) String() string {
+	if c.Value == "" {
+		return fmt.Sprintf("%s_%s %s", c.Block, c.Type, c.DefAuth)
+	}
+	return fmt.Sprintf("%s_%s %s %s", c.Block, c.Type, c.DefAuth, c.Value)
+}
+
+// Entry is one EACL entry: a right plus its ordered conditions. The
+// order of Conditions is significant: conditions are evaluated in the
+// order they appear within their block (paper section 2).
+type Entry struct {
+	Right      Right
+	Conditions []Condition
+	// Line is the 1-based source line of the right, 0 if programmatic.
+	Line int
+}
+
+// Block returns the conditions of the given block, in source order.
+func (e *Entry) Block(b Block) []Condition {
+	var out []Condition
+	for _, c := range e.Conditions {
+		if c.Block == b {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EACL is an ordered set of disjunctive entries with an optional
+// composition mode. ModeSet records whether the source specified a mode;
+// only system-wide policies meaningfully carry one.
+type EACL struct {
+	Mode    CompositionMode
+	ModeSet bool
+	Entries []Entry
+	// Source describes where the EACL came from (file name, "inline").
+	Source string
+}
+
+// Clone returns a deep copy, so callers may mutate the result without
+// affecting cached policies.
+func (e *EACL) Clone() *EACL {
+	if e == nil {
+		return nil
+	}
+	out := &EACL{Mode: e.Mode, ModeSet: e.ModeSet, Source: e.Source}
+	out.Entries = make([]Entry, len(e.Entries))
+	for i, en := range e.Entries {
+		out.Entries[i] = Entry{Right: en.Right, Line: en.Line}
+		out.Entries[i].Conditions = make([]Condition, len(en.Conditions))
+		copy(out.Entries[i].Conditions, en.Conditions)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package eacl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that every policy
+// it accepts round-trips through the canonical printer.
+func FuzzParse(f *testing.F) {
+	f.Add(policy71System)
+	f.Add(policy72Local)
+	f.Add("eacl_mode stop\npos_access_right a b c\npre_cond_x y z w\n")
+	f.Add("# only comments\n\n")
+	f.Add("pos_access_right apache *\nmid_cond_quota local cpu_ms<=50")
+	f.Add("eacl mode 2\nneg_access_right * *")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseString(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := e.String()
+		again, err := ParseString(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("printing is not a fixpoint:\nfirst:  %q\nsecond: %q", printed, again.String())
+		}
+		if len(again.Entries) != len(e.Entries) {
+			t.Fatalf("entry count changed across round trip: %d -> %d", len(e.Entries), len(again.Entries))
+		}
+	})
+}
+
+// FuzzGlob checks the matcher never panics and is consistent with the
+// trivial containment facts.
+func FuzzGlob(f *testing.F) {
+	f.Add("*phf*", "GET /cgi-bin/phf")
+	f.Add("a*b*c", "abc")
+	f.Add("", "")
+	f.Add("***", "anything")
+	f.Fuzz(func(t *testing.T, pattern, s string) {
+		got := Glob(pattern, s)
+		// "*" + pattern + "*" must match at least everything pattern
+		// matches (widening property).
+		if got && !Glob("*"+pattern+"*", s) {
+			t.Fatalf("widening violated: Glob(%q, %q) but not Glob(%q, %q)",
+				pattern, s, "*"+pattern+"*", s)
+		}
+		// A pattern without metacharacters matches only itself.
+		if !strings.Contains(pattern, "*") {
+			if got != (pattern == s) {
+				t.Fatalf("literal pattern %q vs %q: got %v", pattern, s, got)
+			}
+		}
+	})
+}

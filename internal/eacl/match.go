@@ -1,0 +1,42 @@
+package eacl
+
+// MatchRight reports whether the entry right covers the requested right:
+// both the defining authority and the value must glob-match. The
+// requested right's sign is ignored — a neg_access_right entry for
+// "apache GET /x" matches a request for that same right and denies it.
+func MatchRight(entry, requested Right) bool {
+	return Glob(entry.DefAuth, requested.DefAuth) && Glob(entry.Value, requested.Value)
+}
+
+// Glob reports whether s matches pattern, where '*' in pattern matches
+// any (possibly empty) run of characters and every other byte matches
+// itself. This is the wildcard language used throughout the paper's
+// policies ("*", "*phf*", "GET /cgi-bin/*").
+func Glob(pattern, s string) bool {
+	// Iterative matcher with single-star backtracking: O(len(p)*len(s))
+	// worst case, no allocation.
+	var (
+		pi, si         int
+		starPi, starSi = -1, 0
+	)
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && pattern[pi] == '*':
+			starPi, starSi = pi, si
+			pi++
+		case pi < len(pattern) && pattern[pi] == s[si]:
+			pi++
+			si++
+		case starPi >= 0:
+			// Backtrack: let the last '*' consume one more byte.
+			starSi++
+			pi, si = starPi+1, starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}

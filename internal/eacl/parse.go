@@ -1,0 +1,168 @@
+package eacl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseError reports a syntax error with its source position.
+type ParseError struct {
+	Source string
+	Line   int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Source, e.Line, e.Msg)
+}
+
+// Parse reads an EACL in the line-oriented concrete syntax:
+//
+//	# comment (also trailing, after whitespace + '#')
+//	eacl_mode narrow            (or: eacl mode 1)
+//	pos_access_right apache *
+//	pre_cond_system_threat_level local >low
+//	pre_cond_accessid_USER apache *
+//	neg_access_right * *
+//	pre_cond_regex gnu *phf* *test-cgi*
+//	rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+//
+// Each pos_access_right / neg_access_right line opens a new entry; the
+// condition lines that follow belong to that entry, in order. A single
+// optional eacl_mode line may appear before the first entry. Source is
+// used in error messages and recorded on the result.
+func Parse(r io.Reader, source string) (*EACL, error) {
+	out := &EACL{Source: source}
+	var cur *Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		keyword := fields[0]
+
+		// Accept both "eacl_mode <m>" and the paper's "eacl mode <m>".
+		if keyword == "eacl" && len(fields) >= 2 && fields[1] == "mode" {
+			keyword = "eacl_mode"
+			fields = append([]string{"eacl_mode"}, fields[2:]...)
+		}
+
+		switch {
+		case keyword == "eacl_mode":
+			if out.ModeSet {
+				return nil, &ParseError{source, lineNo, "duplicate eacl_mode"}
+			}
+			if len(out.Entries) > 0 || cur != nil {
+				return nil, &ParseError{source, lineNo, "eacl_mode must precede all entries"}
+			}
+			if len(fields) != 2 {
+				return nil, &ParseError{source, lineNo, "eacl_mode wants exactly one argument"}
+			}
+			m, err := ParseCompositionMode(fields[1])
+			if err != nil {
+				return nil, &ParseError{source, lineNo, err.Error()}
+			}
+			out.Mode = m
+			out.ModeSet = true
+
+		case keyword == "pos_access_right" || keyword == "neg_access_right":
+			if len(fields) < 3 {
+				return nil, &ParseError{source, lineNo, keyword + " wants: <def_auth> <value>"}
+			}
+			sign := Pos
+			if keyword == "neg_access_right" {
+				sign = Neg
+			}
+			if cur != nil {
+				out.Entries = append(out.Entries, *cur)
+			}
+			cur = &Entry{
+				Right: Right{
+					Sign:    sign,
+					DefAuth: fields[1],
+					Value:   strings.Join(fields[2:], " "),
+				},
+				Line: lineNo,
+			}
+
+		default:
+			block, condType, ok := splitConditionKeyword(keyword)
+			if !ok {
+				return nil, &ParseError{source, lineNo, fmt.Sprintf("unknown keyword %q", keyword)}
+			}
+			if cur == nil {
+				return nil, &ParseError{source, lineNo, "condition before any access right"}
+			}
+			if len(fields) < 2 {
+				return nil, &ParseError{source, lineNo, keyword + " wants: <def_auth> [value]"}
+			}
+			cur.Conditions = append(cur.Conditions, Condition{
+				Block:   block,
+				Type:    condType,
+				DefAuth: fields[1],
+				Value:   strings.Join(fields[2:], " "),
+				Line:    lineNo,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read %s: %w", source, err)
+	}
+	if cur != nil {
+		out.Entries = append(out.Entries, *cur)
+	}
+	return out, nil
+}
+
+// ParseString parses an EACL from a string. Source defaults to "inline".
+func ParseString(s string) (*EACL, error) {
+	return Parse(strings.NewReader(s), "inline")
+}
+
+// ParseFile parses the EACL stored in path.
+func ParseFile(path string) (*EACL, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open policy: %w", err)
+	}
+	defer f.Close()
+	return Parse(f, path)
+}
+
+// splitConditionKeyword splits e.g. "pre_cond_system_threat_level" into
+// (BlockPre, "system_threat_level"). A bare "pre_cond" (no type suffix)
+// is rejected.
+func splitConditionKeyword(kw string) (Block, string, bool) {
+	for _, b := range []Block{BlockPre, BlockRequestResult, BlockMid, BlockPost} {
+		prefix := b.String() + "_"
+		if rest, ok := strings.CutPrefix(kw, prefix); ok && rest != "" {
+			return b, rest, true
+		}
+	}
+	return 0, "", false
+}
+
+// stripComment removes '#' comments and surrounding whitespace. A '#'
+// starts a comment at the beginning of the line or when preceded by
+// whitespace, so values like "a#b" survive.
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] != '#' {
+			continue
+		}
+		if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+			line = line[:i]
+			break
+		}
+	}
+	return strings.TrimSpace(line)
+}

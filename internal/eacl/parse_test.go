@@ -1,0 +1,231 @@
+package eacl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// policy71System is the system-wide policy of paper section 7.1.
+const policy71System = `
+eacl_mode narrow # composition mode narrow
+# EACL entry 1
+neg_access_right * *
+pre_cond_system_threat_level local =high
+`
+
+// policy72Local is the local policy of paper section 7.2.
+const policy72Local = `
+# EACL entry 1
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:IP
+# EACL entry 2
+pos_access_right apache *
+`
+
+func TestParsePaperSection71SystemPolicy(t *testing.T) {
+	e, err := ParseString(policy71System)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if !e.ModeSet || e.Mode != ModeNarrow {
+		t.Errorf("mode = %v (set=%v), want narrow (set)", e.Mode, e.ModeSet)
+	}
+	if len(e.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(e.Entries))
+	}
+	en := e.Entries[0]
+	if en.Right != (Right{Sign: Neg, DefAuth: "*", Value: "*"}) {
+		t.Errorf("right = %+v", en.Right)
+	}
+	if len(en.Conditions) != 1 {
+		t.Fatalf("conditions = %d, want 1", len(en.Conditions))
+	}
+	c := en.Conditions[0]
+	if c.Block != BlockPre || c.Type != "system_threat_level" || c.DefAuth != "local" || c.Value != "=high" {
+		t.Errorf("condition = %+v", c)
+	}
+}
+
+func TestParsePaperSection72LocalPolicy(t *testing.T) {
+	e, err := ParseString(policy72Local)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if e.ModeSet {
+		t.Error("local policy should not set a composition mode")
+	}
+	if len(e.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(e.Entries))
+	}
+	neg := e.Entries[0]
+	if neg.Right.Sign != Neg || neg.Right.DefAuth != "apache" {
+		t.Errorf("entry 1 right = %+v", neg.Right)
+	}
+	if got := len(neg.Block(BlockPre)); got != 1 {
+		t.Errorf("entry 1 pre conditions = %d, want 1", got)
+	}
+	if got := len(neg.Block(BlockRequestResult)); got != 2 {
+		t.Errorf("entry 1 rr conditions = %d, want 2", got)
+	}
+	if v := neg.Block(BlockPre)[0].Value; v != "*phf* *test-cgi*" {
+		t.Errorf("regex value = %q", v)
+	}
+	pos := e.Entries[1]
+	if pos.Right.Sign != Pos || len(pos.Conditions) != 0 {
+		t.Errorf("entry 2 = %+v", pos)
+	}
+}
+
+func TestParsePaperSpelledModeLine(t *testing.T) {
+	// The paper writes "eacl mode 1".
+	e, err := ParseString("eacl mode 1\npos_access_right apache *\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if !e.ModeSet || e.Mode != ModeNarrow {
+		t.Errorf("mode = %v, want narrow", e.Mode)
+	}
+}
+
+func TestParseAllBlocks(t *testing.T) {
+	e, err := ParseString(`
+pos_access_right apache GET /cgi-bin/*
+pre_cond_time_window local 09:00-17:00
+rr_cond_audit local on:any/info:cgi
+mid_cond_quota local cpu_ms<=50
+post_cond_notify local on:failure/sysadmin/info:cgi
+`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	en := e.Entries[0]
+	for _, tt := range []struct {
+		block Block
+		typ   string
+	}{
+		{BlockPre, "time_window"},
+		{BlockRequestResult, "audit"},
+		{BlockMid, "quota"},
+		{BlockPost, "notify"},
+	} {
+		got := en.Block(tt.block)
+		if len(got) != 1 || got[0].Type != tt.typ {
+			t.Errorf("block %v = %+v, want one %q condition", tt.block, got, tt.typ)
+		}
+	}
+	if en.Right.Value != "GET /cgi-bin/*" {
+		t.Errorf("right value = %q", en.Right.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"condition first", "pre_cond_regex gnu *x*", "before any access right"},
+		{"unknown keyword", "allow_all apache *", `unknown keyword "allow_all"`},
+		{"bad mode", "eacl_mode sideways", "unknown composition mode"},
+		{"mode after entry", "pos_access_right a *\neacl_mode 1", "must precede"},
+		{"duplicate mode", "eacl_mode 0\neacl_mode 1", "duplicate eacl_mode"},
+		{"short right", "pos_access_right apache", "wants:"},
+		{"short condition", "pos_access_right a *\npre_cond_regex", "wants:"},
+		{"bare cond prefix", "pos_access_right a *\npre_cond x y", "unknown keyword"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.in)
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %v, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := ParseString("pos_access_right a *\n\nbogus line here\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if pe.Source != "inline" {
+		t.Errorf("source = %q, want inline", pe.Source)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e, err := ParseString(`
+# full-line comment
+pos_access_right apache * # trailing comment
+pre_cond_regex gnu *a#b* # value keeps embedded hash
+`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if v := e.Entries[0].Right.Value; v != "*" {
+		t.Errorf("right value = %q, want *", v)
+	}
+	if v := e.Entries[0].Conditions[0].Value; v != "*a#b*" {
+		t.Errorf("condition value = %q, want *a#b*", v)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	e, err := ParseString("\n# nothing\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(e.Entries) != 0 || e.ModeSet {
+		t.Errorf("got %+v, want empty EACL", e)
+	}
+}
+
+func TestCompositionModeParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want CompositionMode
+	}{
+		{"0", ModeExpand}, {"expand", ModeExpand}, {"EXPAND", ModeExpand},
+		{"1", ModeNarrow}, {"narrow", ModeNarrow},
+		{"2", ModeStop}, {"stop", ModeStop},
+	}
+	for _, tt := range tests {
+		got, err := ParseCompositionMode(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseCompositionMode(%q) = %v, %v; want %v", tt.in, got, err, tt.want)
+		}
+	}
+	if _, err := ParseCompositionMode("3"); err == nil {
+		t.Error("ParseCompositionMode(3) should fail")
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig, err := ParseString(policy72Local)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	cp := orig.Clone()
+	cp.Entries[0].Conditions[0].Value = "mutated"
+	cp.Entries[1].Right.Value = "mutated"
+	if orig.Entries[0].Conditions[0].Value == "mutated" {
+		t.Error("Clone shares condition storage with original")
+	}
+	if orig.Entries[1].Right.Value == "mutated" {
+		t.Error("Clone shares entry storage with original")
+	}
+	var nilEACL *EACL
+	if nilEACL.Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}

@@ -1,0 +1,24 @@
+package eacl
+
+import "strings"
+
+// String renders the EACL in canonical concrete syntax. Parsing the
+// output yields an equivalent EACL (round-trip property, tested).
+func (e *EACL) String() string {
+	var b strings.Builder
+	if e.ModeSet {
+		b.WriteString("eacl_mode ")
+		b.WriteString(e.Mode.String())
+		b.WriteByte('\n')
+	}
+	for i := range e.Entries {
+		en := &e.Entries[i]
+		b.WriteString(en.Right.String())
+		b.WriteByte('\n')
+		for _, c := range en.Conditions {
+			b.WriteString(c.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

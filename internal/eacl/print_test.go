@@ -1,0 +1,70 @@
+package eacl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{policy71System, policy72Local, `
+eacl_mode stop
+pos_access_right apache GET /a/*
+pre_cond_time_window local 09:00-17:00 Mon-Fri
+mid_cond_quota local cpu_ms<=50
+post_cond_audit local on:any/info:done
+neg_access_right sshd login
+pre_cond_accessid_GROUP local BadGuys
+`} {
+		first, err := ParseString(src)
+		if err != nil {
+			t.Fatalf("parse source: %v", err)
+		}
+		second, err := ParseString(first.String())
+		if err != nil {
+			t.Fatalf("re-parse printed form: %v\nprinted:\n%s", err, first.String())
+		}
+		// Line numbers differ between the original and the printed
+		// form; compare with them zeroed.
+		if !reflect.DeepEqual(zeroLines(first), zeroLines(second)) {
+			t.Errorf("round trip mismatch:\noriginal: %#v\nreparsed: %#v", first, second)
+		}
+	}
+}
+
+func zeroLines(e *EACL) *EACL {
+	out := e.Clone()
+	out.Source = ""
+	for i := range out.Entries {
+		out.Entries[i].Line = 0
+		for j := range out.Entries[i].Conditions {
+			out.Entries[i].Conditions[j].Line = 0
+		}
+	}
+	return out
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{Block: BlockPre, Type: "regex", DefAuth: "gnu", Value: "*phf*"}
+	if got, want := c.String(), "pre_cond_regex gnu *phf*"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	empty := Condition{Block: BlockRequestResult, Type: "noop", DefAuth: "local"}
+	if got, want := empty.String(), "rr_cond_noop local"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Pos.String() != "pos_access_right" || Neg.String() != "neg_access_right" {
+		t.Error("Sign.String mismatch")
+	}
+	if Sign(99).String() != "Sign(99)" {
+		t.Error("unknown Sign.String mismatch")
+	}
+	if Block(99).String() != "Block(99)" {
+		t.Error("unknown Block.String mismatch")
+	}
+	if CompositionMode(99).String() != "CompositionMode(99)" {
+		t.Error("unknown CompositionMode.String mismatch")
+	}
+}

@@ -1,0 +1,92 @@
+package eacl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseLargePolicy exercises the scanner buffer limits and
+// round-trips a policy far larger than anything realistic.
+func TestParseLargePolicy(t *testing.T) {
+	var b strings.Builder
+	const entries = 2000
+	for i := 0; i < entries; i++ {
+		fmt.Fprintf(&b, "neg_access_right apache GET /app%d/*\n", i)
+		fmt.Fprintf(&b, "pre_cond_regex gnu *sig-%d*\n", i)
+		fmt.Fprintf(&b, "rr_cond_audit local on:failure/info:tag-%d\n", i)
+	}
+	b.WriteString("pos_access_right apache *\n")
+
+	e, err := ParseString(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(e.Entries) != entries+1 {
+		t.Fatalf("entries = %d, want %d", len(e.Entries), entries+1)
+	}
+	again, err := ParseString(e.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(again.Entries) != len(e.Entries) {
+		t.Errorf("round-trip entries = %d", len(again.Entries))
+	}
+}
+
+// TestParseLongLine: condition values up to the scanner's 1 MiB line
+// limit survive; beyond it the parser errors rather than truncating.
+func TestParseLongLine(t *testing.T) {
+	longValue := strings.Repeat("x", 500_000)
+	e, err := ParseString("pos_access_right apache *\npre_cond_regex gnu *" + longValue + "*\n")
+	if err != nil {
+		t.Fatalf("500KB line: %v", err)
+	}
+	if got := len(e.Entries[0].Conditions[0].Value); got != len(longValue)+2 {
+		t.Errorf("value length = %d", got)
+	}
+
+	tooLong := strings.Repeat("y", 2_000_000)
+	if _, err := ParseString("pos_access_right apache " + tooLong + "\n"); err == nil {
+		t.Error("2MB line should exceed the scanner buffer and error")
+	}
+}
+
+// TestParseManyConditionsPerEntry keeps per-entry ordering intact at
+// scale.
+func TestParseManyConditionsPerEntry(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("pos_access_right apache *\n")
+	const n = 500
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "pre_cond_regex gnu *c%04d*\n", i)
+	}
+	e, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := e.Entries[0].Conditions
+	if len(conds) != n {
+		t.Fatalf("conditions = %d", len(conds))
+	}
+	for i, c := range conds {
+		want := fmt.Sprintf("*c%04d*", i)
+		if c.Value != want {
+			t.Fatalf("condition %d = %q, want %q (order lost)", i, c.Value, want)
+		}
+	}
+}
+
+// TestGlobPathologicalBacktracking: the matcher must stay fast on
+// star-heavy patterns against repetitive subjects (quadratic, not
+// exponential).
+func TestGlobPathologicalBacktracking(t *testing.T) {
+	pattern := strings.Repeat("*a", 20) + "*b"
+	subject := strings.Repeat("a", 2000)
+	if Glob(pattern, subject) {
+		t.Error("pattern should not match")
+	}
+	if !Glob(strings.Repeat("*a", 20)+"*", subject) {
+		t.Error("pattern should match")
+	}
+}

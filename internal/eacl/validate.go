@@ -1,0 +1,120 @@
+package eacl
+
+import "fmt"
+
+// Severity classifies validator findings.
+type Severity int
+
+const (
+	// Warning findings are suspicious but legal policies.
+	Warning Severity = iota + 1
+	// Error findings are policies the evaluator rejects or that can
+	// never behave as written.
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one validator diagnostic.
+type Finding struct {
+	Severity Severity
+	Line     int
+	Msg      string
+}
+
+// String renders the finding as "line N: severity: msg".
+func (f Finding) String() string {
+	return fmt.Sprintf("line %d: %s: %s", f.Line, f.Severity, f.Msg)
+}
+
+// ValidateOptions configures Validate.
+type ValidateOptions struct {
+	// KnownCondition, when non-nil, reports whether an evaluator is
+	// registered for (condType, defAuth). Unknown conditions yield a
+	// warning: the paper's semantics evaluate them to MAYBE at run time.
+	KnownCondition func(condType, defAuth string) bool
+}
+
+// Validate performs the static checks of the paper's section 2 "policy
+// correctness and consistency" future-work tool:
+//
+//   - entries with no conditions that shadow every later entry with the
+//     same or narrower right (unreachable entries)
+//   - duplicate entries (same right, same conditions)
+//   - mid/post condition blocks on negative rights (the grammar gives
+//     nright only pre and request-result blocks)
+//   - empty EACLs and empty condition values for types that require one
+//   - unknown condition types, via opts.KnownCondition
+func Validate(e *EACL, opts ValidateOptions) []Finding {
+	var out []Finding
+	if len(e.Entries) == 0 {
+		out = append(out, Finding{Warning, 0, "EACL has no entries; evaluation always yields MAYBE (uncertain)"})
+	}
+	seen := make(map[string]int, len(e.Entries)) // canonical entry -> line
+	for i := range e.Entries {
+		en := &e.Entries[i]
+		if en.Right.Sign == Neg {
+			for _, c := range en.Conditions {
+				if c.Block == BlockMid || c.Block == BlockPost {
+					out = append(out, Finding{Error, c.Line,
+						fmt.Sprintf("%s block not allowed on neg_access_right (grammar: nright ::= pre_cond_block rr_cond_block)", c.Block)})
+				}
+			}
+		}
+		key := entryKey(en)
+		if prev, dup := seen[key]; dup {
+			out = append(out, Finding{Warning, en.Line,
+				fmt.Sprintf("duplicate of entry at line %d", prev)})
+		} else {
+			seen[key] = en.Line
+		}
+		if opts.KnownCondition != nil {
+			for _, c := range en.Conditions {
+				if !opts.KnownCondition(c.Type, c.DefAuth) {
+					out = append(out, Finding{Warning, c.Line,
+						fmt.Sprintf("no evaluator registered for condition %s_%s (authority %q); evaluates to MAYBE", c.Block, c.Type, c.DefAuth)})
+				}
+			}
+		}
+		// Shadowing: an earlier unconditional entry whose right covers
+		// this entry's right decides first; this entry never fires.
+		for j := 0; j < i; j++ {
+			prev := &e.Entries[j]
+			if len(prev.Block(BlockPre)) == 0 && rightCovers(prev.Right, en.Right) {
+				out = append(out, Finding{Warning, en.Line,
+					fmt.Sprintf("unreachable: shadowed by unconditional entry at line %d", prev.Line)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rightCovers reports whether outer's pattern covers every right inner's
+// pattern can match. Exact equality always covers; a '*' component
+// covers anything.
+func rightCovers(outer, inner Right) bool {
+	return componentCovers(outer.DefAuth, inner.DefAuth) &&
+		componentCovers(outer.Value, inner.Value)
+}
+
+func componentCovers(outer, inner string) bool {
+	if outer == "*" {
+		return true
+	}
+	return outer == inner
+}
+
+func entryKey(en *Entry) string {
+	key := en.Right.String()
+	for _, c := range en.Conditions {
+		key += "\n" + c.String()
+	}
+	return key
+}

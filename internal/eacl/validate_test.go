@@ -1,0 +1,120 @@
+package eacl
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *EACL {
+	t.Helper()
+	e, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return e
+}
+
+func findingWith(fs []Finding, substr string) *Finding {
+	for i := range fs {
+		if strings.Contains(fs[i].Msg, substr) {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestValidateCleanPolicy(t *testing.T) {
+	e := mustParse(t, policy72Local)
+	fs := Validate(e, ValidateOptions{})
+	if len(fs) != 0 {
+		t.Errorf("findings on clean policy: %v", fs)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	fs := Validate(&EACL{}, ValidateOptions{})
+	if findingWith(fs, "no entries") == nil {
+		t.Errorf("want 'no entries' warning, got %v", fs)
+	}
+}
+
+func TestValidateNegWithMidBlock(t *testing.T) {
+	e := mustParse(t, `
+neg_access_right apache *
+mid_cond_quota local cpu_ms<=10
+`)
+	fs := Validate(e, ValidateOptions{})
+	f := findingWith(fs, "not allowed on neg_access_right")
+	if f == nil {
+		t.Fatalf("want mid-on-neg error, got %v", fs)
+	}
+	if f.Severity != Error {
+		t.Errorf("severity = %v, want Error", f.Severity)
+	}
+}
+
+func TestValidateDuplicateEntry(t *testing.T) {
+	e := mustParse(t, `
+pos_access_right apache GET /a
+pre_cond_time_window local 09:00-17:00
+pos_access_right apache GET /a
+pre_cond_time_window local 09:00-17:00
+`)
+	fs := Validate(e, ValidateOptions{})
+	if findingWith(fs, "duplicate of entry") == nil {
+		t.Errorf("want duplicate warning, got %v", fs)
+	}
+}
+
+func TestValidateShadowedEntry(t *testing.T) {
+	e := mustParse(t, `
+pos_access_right apache *
+neg_access_right apache GET /secret
+pre_cond_regex gnu *secret*
+`)
+	fs := Validate(e, ValidateOptions{})
+	f := findingWith(fs, "unreachable")
+	if f == nil {
+		t.Fatalf("want shadow warning, got %v", fs)
+	}
+	if f.Line != 3 {
+		t.Errorf("finding line = %d, want 3", f.Line)
+	}
+}
+
+func TestValidateNotShadowedWhenEarlierHasConditions(t *testing.T) {
+	// An earlier entry WITH pre-conditions can fall through, so a later
+	// overlapping entry is reachable.
+	e := mustParse(t, `
+pos_access_right apache *
+pre_cond_system_threat_level local =low
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+`)
+	fs := Validate(e, ValidateOptions{})
+	if f := findingWith(fs, "unreachable"); f != nil {
+		t.Errorf("unexpected shadow warning: %v", f)
+	}
+}
+
+func TestValidateUnknownCondition(t *testing.T) {
+	e := mustParse(t, `
+pos_access_right apache *
+pre_cond_phase_of_moon local full
+`)
+	known := func(condType, defAuth string) bool { return condType == "regex" }
+	fs := Validate(e, ValidateOptions{KnownCondition: known})
+	if findingWith(fs, "no evaluator registered") == nil {
+		t.Errorf("want unknown-condition warning, got %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: Error, Line: 4, Msg: "boom"}
+	if got, want := f.String(), "line 4: error: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if Warning.String() != "warning" {
+		t.Error("Warning.String mismatch")
+	}
+}

@@ -1,0 +1,165 @@
+// Package execctl implements the paper's execution control phase (the
+// unfinished section 6 step 3, listed as future work in section 9): the
+// requested operation runs under resource accounting while the GAA-API
+// mid-conditions are re-checked periodically; a violated mid-condition
+// aborts the operation in real time ("a user process consumes excessive
+// system resources", section 1).
+package execctl
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"gaaapi/internal/gaa"
+)
+
+// Usage is the resource accounting for one running operation. The
+// operation (e.g. a simulated CGI script) credits its consumption;
+// snapshots are read concurrently by the monitor. All methods are safe
+// for concurrent use.
+type Usage struct {
+	start time.Time
+	clock func() time.Time
+
+	cpuMillis   atomic.Int64
+	memBytes    atomic.Int64
+	outputBytes atomic.Int64
+}
+
+// NewUsage starts accounting at now(); a nil clock means time.Now.
+func NewUsage(clock func() time.Time) *Usage {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Usage{start: clock(), clock: clock}
+}
+
+// AddCPU credits simulated CPU consumption.
+func (u *Usage) AddCPU(d time.Duration) { u.cpuMillis.Add(d.Milliseconds()) }
+
+// AddMem credits memory consumption.
+func (u *Usage) AddMem(bytes int64) { u.memBytes.Add(bytes) }
+
+// AddOutput credits bytes written to the client.
+func (u *Usage) AddOutput(bytes int64) { u.outputBytes.Add(bytes) }
+
+// Snapshot captures current consumption.
+func (u *Usage) Snapshot() Snapshot {
+	return Snapshot{
+		CPUMillis:   u.cpuMillis.Load(),
+		WallMillis:  u.clock().Sub(u.start).Milliseconds(),
+		MemBytes:    u.memBytes.Load(),
+		OutputBytes: u.outputBytes.Load(),
+	}
+}
+
+// Snapshot is a point-in-time usage reading.
+type Snapshot struct {
+	CPUMillis   int64
+	WallMillis  int64
+	MemBytes    int64
+	OutputBytes int64
+}
+
+// Params renders the snapshot as GAA request parameters for
+// mid-condition evaluation (mid_cond_quota local cpu_ms<=50 ...).
+func (s Snapshot) Params() []gaa.Param {
+	return []gaa.Param{
+		{Type: gaa.ParamCPUMillis, Authority: gaa.AuthorityAny, Value: strconv.FormatInt(s.CPUMillis, 10)},
+		{Type: gaa.ParamWallMillis, Authority: gaa.AuthorityAny, Value: strconv.FormatInt(s.WallMillis, 10)},
+		{Type: gaa.ParamMemBytes, Authority: gaa.AuthorityAny, Value: strconv.FormatInt(s.MemBytes, 10)},
+		{Type: gaa.ParamOutputBytes, Authority: gaa.AuthorityAny, Value: strconv.FormatInt(s.OutputBytes, 10)},
+	}
+}
+
+// ErrAborted is returned (wrapped) when a mid-condition violation
+// aborted the operation.
+var ErrAborted = errors.New("operation aborted: mid-condition violated")
+
+// Check evaluates the mid-conditions against a usage snapshot: Yes to
+// continue, No to abort.
+type Check func(Snapshot) gaa.Decision
+
+// Result reports how a monitored operation ended.
+type Result struct {
+	// Err is the operation error; errors.Is(Err, ErrAborted) when a
+	// mid-condition violation stopped it.
+	Err error
+	// Violated reports whether a mid-condition violation occurred
+	// (even if the operation finished before noticing cancellation).
+	Violated bool
+	// Checks counts how many mid-condition evaluations ran.
+	Checks int
+	// Final is the usage at completion.
+	Final Snapshot
+}
+
+// OpStatus maps the result to the paper's operation status for the
+// post-execution phase.
+func (r Result) OpStatus() gaa.Decision {
+	if r.Err != nil || r.Violated {
+		return gaa.No
+	}
+	return gaa.Yes
+}
+
+// Run executes op under usage accounting while check is evaluated
+// every interval; a No verdict cancels op's context and Run returns
+// with ErrAborted. A final check runs after completion so violations
+// faster than the interval are still recorded. A nil check disables
+// monitoring (the paper's phase with no mid-conditions).
+func Run(ctx context.Context, u *Usage, op func(context.Context, *Usage) error, check Check, interval time.Duration) Result {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- op(opCtx, u)
+	}()
+
+	var res Result
+	if check == nil {
+		res.Err = <-done
+		res.Final = u.Snapshot()
+		return res
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case err := <-done:
+			res.Final = u.Snapshot()
+			// Final check: a violation that the operation outran is
+			// still a violation (and fails the operation status).
+			res.Checks++
+			if check(res.Final) == gaa.No {
+				res.Violated = true
+				if err == nil {
+					err = ErrAborted
+				}
+			}
+			res.Err = err
+			return res
+		case <-ticker.C:
+			res.Checks++
+			if check(u.Snapshot()) == gaa.No {
+				res.Violated = true
+				cancel()
+				err := <-done
+				res.Final = u.Snapshot()
+				if err == nil || errors.Is(err, context.Canceled) {
+					err = ErrAborted
+				}
+				res.Err = err
+				return res
+			}
+		}
+	}
+}

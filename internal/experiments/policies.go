@@ -1,0 +1,63 @@
+package experiments
+
+// The paper's section 7 policies, shared by the experiments.
+const (
+	// Policy71System is the section 7.1 system-wide policy: "No access
+	// is allowed when system threat level is high", mandatory (narrow).
+	Policy71System = `
+eacl_mode narrow
+# EACL entry 1
+neg_access_right * *
+pre_cond_system_threat_level local =high
+`
+
+	// Policy71Local is the section 7.1 local policy: "all Apache
+	// accesses have to be authenticated if the system threat level is
+	// higher than low".
+	Policy71Local = `
+# EACL entry 1
+pos_access_right apache *
+pre_cond_system_threat_level local >low
+pre_cond_accessid_USER apache *
+`
+
+	// Policy72System is the section 7.2 system-wide policy: members of
+	// the group BadGuys are denied access, mandatorily.
+	Policy72System = `
+eacl_mode narrow
+# EACL entry 1
+neg_access_right * *
+pre_cond_accessid_GROUP local BadGuys
+`
+
+	// Policy72Local is the section 7.2 local policy extended with the
+	// paper's additional signatures (slash-flood DoS, NIMDA malformed
+	// URLs, CGI input longer than 1000 characters).
+	Policy72Local = `
+# EACL entry 1: known CGI exploit and DoS signatures
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi* *///////////////////* *%c0%af* *%255c* *cmd.exe* *root.exe*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:IP
+# EACL entry 2: buffer-overflow detector (Code Red style)
+neg_access_right apache *
+pre_cond_expr local input_length>1000
+rr_cond_notify local on:failure/sysadmin/info:overflow
+rr_cond_update_log local on:failure/BadGuys/info:IP
+# EACL entry 3: everything else is allowed
+pos_access_right apache *
+`
+
+	// Policy72LocalNoNotify is Policy72Local with the notification
+	// conditions removed — the paper's "without notification"
+	// configuration.
+	Policy72LocalNoNotify = `
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi* *///////////////////* *%c0%af* *%255c* *cmd.exe* *root.exe*
+rr_cond_update_log local on:failure/BadGuys/info:IP
+neg_access_right apache *
+pre_cond_expr local input_length>1000
+rr_cond_update_log local on:failure/BadGuys/info:IP
+pos_access_right apache *
+`
+)

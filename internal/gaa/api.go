@@ -1,0 +1,225 @@
+package gaa
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gaaapi/internal/eacl"
+)
+
+// API is the GAA-API entry point: a condition-evaluator registry plus
+// the three enforcement phases. It is safe for concurrent use; in the
+// paper's integration one API instance serves the whole web server.
+type API struct {
+	reg    *registry
+	clock  func() time.Time
+	cache  *policyCache
+	values ValueProvider
+}
+
+// Option configures an API.
+type Option interface {
+	apply(*API)
+}
+
+type optionFunc func(*API)
+
+func (f optionFunc) apply(a *API) { f(a) }
+
+// WithClock overrides the time source (tests, deterministic replay).
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(a *API) { a.clock = now })
+}
+
+// WithPolicyCache enables the composed-policy cache (paper section 9
+// future work) holding up to maxEntries objects. Cached policies are
+// invalidated when any contributing source's revision changes.
+func WithPolicyCache(maxEntries int) Option {
+	return optionFunc(func(a *API) { a.cache = newPolicyCache(maxEntries) })
+}
+
+// WithValues installs the runtime value provider that resolves '@name'
+// references in condition values (paper section 2's adaptive
+// constraint specification). Without a provider, conditions carrying
+// references evaluate to MAYBE.
+func WithValues(p ValueProvider) Option {
+	return optionFunc(func(a *API) { a.values = p })
+}
+
+// New initializes the GAA-API (the paper's gaa_initialize).
+func New(opts ...Option) *API {
+	a := &API{
+		reg:   newRegistry(),
+		clock: time.Now,
+	}
+	for _, o := range opts {
+		o.apply(a)
+	}
+	return a
+}
+
+// Register installs an evaluator for (condType, defAuth). Use
+// AuthorityAny as defAuth for an evaluator serving every authority.
+// Registration may happen at any time; web masters "can write their own
+// routines ... and register them with the GAA-API" (paper section 5).
+func (a *API) Register(condType, defAuth string, ev Evaluator) {
+	a.reg.register(condType, defAuth, ev)
+}
+
+// RegisterFunc is Register for plain functions.
+func (a *API) RegisterFunc(condType, defAuth string, fn EvaluatorFunc) {
+	a.reg.register(condType, defAuth, fn)
+}
+
+// Known reports whether an evaluator is registered for the pair; it is
+// the callback the eacl validator wants.
+func (a *API) Known(condType, defAuth string) bool {
+	return a.reg.known(condType, defAuth)
+}
+
+// Registered lists registered (type, authority) pairs for diagnostics.
+func (a *API) Registered() []string {
+	return a.reg.registered()
+}
+
+// Now returns the API clock time.
+func (a *API) Now() time.Time {
+	return a.clock()
+}
+
+// CacheStats returns policy-cache counters; zero when caching is off.
+func (a *API) CacheStats() CacheStats {
+	if a.cache == nil {
+		return CacheStats{}
+	}
+	return a.cache.snapshot()
+}
+
+// InvalidateCache drops all cached policies.
+func (a *API) InvalidateCache() {
+	if a.cache != nil {
+		a.cache.invalidate()
+	}
+}
+
+// GetObjectPolicyInfo retrieves and composes the policies governing
+// object (the paper's gaa_get_object_policy_info): system-wide EACLs
+// first, then local ones, with the composition mode taken from the
+// system-wide policy. Results are cached when the API was built with
+// WithPolicyCache.
+func (a *API) GetObjectPolicyInfo(object string, system, local []PolicySource) (*Policy, error) {
+	var revision string
+	if a.cache != nil {
+		var err error
+		revision, err = revisionKey(object, system, local)
+		if err != nil {
+			return nil, fmt.Errorf("policy revision for %q: %w", object, err)
+		}
+		if p, ok := a.cache.get(object, revision); ok {
+			return p, nil
+		}
+	}
+	var sysEACLs, locEACLs []*eacl.EACL
+	for _, s := range system {
+		es, err := s.Policies(object)
+		if err != nil {
+			return nil, fmt.Errorf("system policy for %q: %w", object, err)
+		}
+		sysEACLs = append(sysEACLs, es...)
+	}
+	for _, s := range local {
+		es, err := s.Policies(object)
+		if err != nil {
+			return nil, fmt.Errorf("local policy for %q: %w", object, err)
+		}
+		locEACLs = append(locEACLs, es...)
+	}
+	p := NewPolicy(object, sysEACLs, locEACLs)
+	if a.cache != nil {
+		a.cache.put(object, revision, p)
+	}
+	return p, nil
+}
+
+// CheckAuthorization is phase 1 (the paper's gaa_check_authorization):
+// it scans the composed policy, evaluates pre-conditions, determines
+// the authorization status, and then activates the request-result
+// conditions of every deciding entry with the decision visible to their
+// triggers. Per paper section 6 step 2c, the final status is the
+// conjunction of the pre-condition result and the request-result
+// outcomes.
+func (a *API) CheckAuthorization(ctx context.Context, p *Policy, req *Request) (*Answer, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil policy")
+	}
+	r := req.clone()
+	if r.Time.IsZero() {
+		r.Time = a.clock()
+	}
+	res, deciders := a.evaluatePolicy(ctx, p, r)
+
+	ans := &Answer{
+		Decision:    res.decision,
+		Applicable:  res.applicable,
+		Unevaluated: res.unevaluated,
+		Challenge:   res.challenge,
+		Trace:       res.trace,
+	}
+
+	// Request-result conditions see the decision.
+	r.Decision = ans.Decision
+	for _, d := range deciders {
+		rr := d.entry.Block(eacl.BlockRequestResult)
+		dec, trace := a.evaluateBlock(ctx, d.source, d.entry.Line, rr, r)
+		ans.Trace = append(ans.Trace, trace...)
+		if len(rr) > 0 {
+			ans.Decision = Conjoin(ans.Decision, dec)
+		}
+		// Later phases enforce the deciding entries' mid/post blocks.
+		ans.Mid = append(ans.Mid, d.entry.Block(eacl.BlockMid)...)
+		ans.Post = append(ans.Post, d.entry.Block(eacl.BlockPost)...)
+	}
+	return ans, nil
+}
+
+// ExecutionControl is phase 2 (the paper's gaa_execution_control): it
+// re-evaluates the mid-conditions attached to the granted rights
+// against a usage snapshot supplied as extra parameters (cpu_ms,
+// wall_ms, mem_bytes, output_bytes). Yes means the operation may
+// continue; No means a mid-condition was violated and the operation
+// should be aborted; Maybe means some condition could not be checked.
+func (a *API) ExecutionControl(ctx context.Context, ans *Answer, req *Request, usage ...Param) (Decision, []TraceEvent) {
+	if len(ans.Mid) == 0 {
+		return Yes, nil
+	}
+	r := req.clone()
+	if r.Time.IsZero() {
+		r.Time = a.clock()
+	}
+	r.Decision = ans.Decision
+	r.Params = r.Params.With(usage...)
+	return a.evaluateBlock(ctx, "mid", 0, ans.Mid, r)
+}
+
+// PostExecutionActions is phase 3 (the paper's
+// gaa_post_execution_actions): it activates the post-conditions of the
+// granted rights once the operation finished, with the operation status
+// (whether it succeeded or failed) visible to their triggers.
+func (a *API) PostExecutionActions(ctx context.Context, ans *Answer, req *Request, opStatus Decision) (Decision, []TraceEvent) {
+	if len(ans.Post) == 0 {
+		return Yes, nil
+	}
+	r := req.clone()
+	if r.Time.IsZero() {
+		r.Time = a.clock()
+	}
+	r.Decision = ans.Decision
+	r.OpStatus = opStatus
+	r.Params = r.Params.With(Param{
+		Type:      ParamOpStatusName,
+		Authority: AuthorityAny,
+		Value:     opStatus.String(),
+	})
+	return a.evaluateBlock(ctx, "post", 0, ans.Post, r)
+}

@@ -1,0 +1,94 @@
+package gaa
+
+import (
+	"strings"
+	"sync"
+)
+
+// CacheStats reports policy-cache effectiveness (experiment E4).
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// policyCache caches composed policies per object, keyed by the
+// concatenated revisions of the contributing sources. This implements
+// the paper's section 9 future work: "caching of the retrieved and
+// translated policies for later reuse by subsequent requests".
+type policyCache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	stats   CacheStats
+	max     int
+}
+
+type cacheEntry struct {
+	policy   *Policy
+	revision string
+}
+
+func newPolicyCache(maxEntries int) *policyCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &policyCache{entries: make(map[string]cacheEntry), max: maxEntries}
+}
+
+func (c *policyCache) get(object, revision string) (*Policy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[object]
+	if !ok || e.revision != revision {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	return e.policy, true
+}
+
+func (c *policyCache) put(object, revision string, p *Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.max {
+		// Simple bounded cache: drop everything when full. Policy sets
+		// are small; the paper's workload touches a handful of objects.
+		c.entries = make(map[string]cacheEntry, c.max)
+	}
+	c.entries[object] = cacheEntry{policy: p, revision: revision}
+}
+
+func (c *policyCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]cacheEntry)
+}
+
+func (c *policyCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// revisionKey concatenates source revisions for an object.
+func revisionKey(object string, system, local []PolicySource) (string, error) {
+	var b strings.Builder
+	for _, s := range system {
+		r, err := s.Revision(object)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("s:")
+		b.WriteString(r)
+		b.WriteByte('|')
+	}
+	for _, s := range local {
+		r, err := s.Revision(object)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("l:")
+		b.WriteString(r)
+		b.WriteByte('|')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,120 @@
+package gaa
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPolicyCacheHitsAndMisses(t *testing.T) {
+	a := New(WithPolicyCache(16))
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	sys := []PolicySource{src}
+
+	p1, err := a.GetObjectPolicyInfo("/x", sys, nil)
+	if err != nil {
+		t.Fatalf("GetObjectPolicyInfo: %v", err)
+	}
+	p2, err := a.GetObjectPolicyInfo("/x", sys, nil)
+	if err != nil {
+		t.Fatalf("GetObjectPolicyInfo: %v", err)
+	}
+	if p1 != p2 {
+		t.Error("second lookup should return the cached policy pointer")
+	}
+	st := a.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestPolicyCacheInvalidatedByRevisionChange(t *testing.T) {
+	a := New(WithPolicyCache(16))
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	sys := []PolicySource{src}
+	p1, err := a.GetObjectPolicyInfo("/x", sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the source bumps its revision; cache must refresh.
+	if err := src.AddPolicy("*", "neg_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.GetObjectPolicyInfo("/x", sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("cache returned stale policy after source revision change")
+	}
+	if len(p2.System) != 2 {
+		t.Errorf("refreshed policy has %d system EACLs, want 2", len(p2.System))
+	}
+}
+
+func TestInvalidateCache(t *testing.T) {
+	a := New(WithPolicyCache(16))
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	sys := []PolicySource{src}
+	if _, err := a.GetObjectPolicyInfo("/x", sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	a.InvalidateCache()
+	if _, err := a.GetObjectPolicyInfo("/x", sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := a.CacheStats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 after invalidate", st.Misses)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	a := New()
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	sys := []PolicySource{src}
+	p1, _ := a.GetObjectPolicyInfo("/x", sys, nil)
+	p2, _ := a.GetObjectPolicyInfo("/x", sys, nil)
+	if p1 == p2 {
+		t.Error("without WithPolicyCache every lookup should recompose")
+	}
+	if st := a.CacheStats(); st != (CacheStats{}) {
+		t.Errorf("stats = %+v, want zero", st)
+	}
+	a.InvalidateCache() // must not panic without a cache
+}
+
+func TestCacheBounded(t *testing.T) {
+	a := New(WithPolicyCache(4))
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	sys := []PolicySource{src}
+	for i := 0; i < 100; i++ {
+		if _, err := a.GetObjectPolicyInfo(fmt.Sprintf("/obj%d", i), sys, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := a.cache; len(c.entries) > 4 {
+		t.Errorf("cache grew to %d entries, bound is 4", len(c.entries))
+	}
+}
+
+func TestPolicyCacheDefaultSize(t *testing.T) {
+	c := newPolicyCache(0)
+	if c.max != 1024 {
+		t.Errorf("default max = %d, want 1024", c.max)
+	}
+}

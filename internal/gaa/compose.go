@@ -1,0 +1,189 @@
+package gaa
+
+import (
+	"context"
+
+	"gaaapi/internal/eacl"
+)
+
+// Policy is the composed set of EACLs governing one object: system-wide
+// policies first, then local policies (paper section 2.1: "system-wide
+// policies implicitly have higher priority than the local policies").
+type Policy struct {
+	System []*eacl.EACL
+	Local  []*eacl.EACL
+	// Mode is the composition mode taken from the first system-wide
+	// EACL that declares one; DefaultCompositionMode otherwise.
+	Mode eacl.CompositionMode
+	// Object is the protected object the policy was retrieved for.
+	Object string
+}
+
+// DefaultCompositionMode applies when no system-wide policy declares a
+// mode. Narrow is the fail-safe choice: system denials always hold.
+const DefaultCompositionMode = eacl.ModeNarrow
+
+// NewPolicy composes system and local EACL lists, deriving the mode.
+func NewPolicy(object string, system, local []*eacl.EACL) *Policy {
+	p := &Policy{System: system, Local: local, Mode: DefaultCompositionMode, Object: object}
+	for _, e := range system {
+		if e.ModeSet {
+			p.Mode = e.Mode
+			break
+		}
+	}
+	return p
+}
+
+// EACLs returns the composed ordered list, system-wide first, honoring
+// ModeStop (local policies ignored when a system policy exists).
+func (p *Policy) EACLs() []*eacl.EACL {
+	if p.Mode == eacl.ModeStop && len(p.System) > 0 {
+		return p.System
+	}
+	out := make([]*eacl.EACL, 0, len(p.System)+len(p.Local))
+	out = append(out, p.System...)
+	out = append(out, p.Local...)
+	return out
+}
+
+// levelResult combines per-EACL results of one level (system or local)
+// as a conjunction: "To evaluate several separately specified local (or
+// system-wide) policies, we take a conjunction of the policies" (paper
+// section 2.1). EACLs with no applicable entry are neutral.
+func combineLevel(results []evalResult) evalResult {
+	var combined evalResult
+	combined.decision = Maybe // uncertain until something applies
+	var (
+		dec              Decision
+		deniedUncurable  bool
+		deniedChallenged string
+	)
+	for _, r := range results {
+		combined.trace = append(combined.trace, r.trace...)
+		if !r.applicable {
+			continue
+		}
+		combined.applicable = true
+		dec = Conjoin(dec, r.decision)
+		combined.unevaluated = append(combined.unevaluated, r.unevaluated...)
+		if r.decision == No {
+			if r.challenge == "" {
+				deniedUncurable = true
+			} else if deniedChallenged == "" {
+				deniedChallenged = r.challenge
+			}
+		}
+	}
+	if combined.applicable {
+		combined.decision = dec
+	}
+	// A challenge is only meaningful if authenticating could cure every
+	// deny at this level.
+	if !deniedUncurable {
+		combined.challenge = deniedChallenged
+	}
+	return combined
+}
+
+// composeLevels merges the system-level and local-level results under
+// the composition mode.
+func composeLevels(mode eacl.CompositionMode, sys, loc evalResult, sysExists bool) evalResult {
+	out := evalResult{
+		trace: append(append([]TraceEvent{}, sys.trace...), loc.trace...),
+	}
+	switch {
+	case mode == eacl.ModeStop && sysExists:
+		// Local policies are ignored entirely, including their trace:
+		// they were never evaluated.
+		out = sys
+	case !sys.applicable && !loc.applicable:
+		out.decision = Maybe
+	case mode == eacl.ModeExpand:
+		out.applicable = true
+		switch {
+		case !sys.applicable:
+			out.decision = loc.decision
+		case !loc.applicable:
+			out.decision = sys.decision
+		default:
+			out.decision = Disjoin(sys.decision, loc.decision)
+		}
+	default: // narrow (and stop without a system policy)
+		out.applicable = true
+		switch {
+		case !sys.applicable:
+			out.decision = loc.decision
+		case !loc.applicable:
+			out.decision = sys.decision
+		default:
+			out.decision = Conjoin(sys.decision, loc.decision)
+		}
+	}
+	if out.decision == Maybe {
+		out.unevaluated = append(append([]eacl.Condition{}, sys.unevaluated...), loc.unevaluated...)
+	}
+	if out.decision == No {
+		// Surface a challenge only if authenticating could cure every
+		// deny that contributed to the decision.
+		curable := true
+		var challenge string
+		for _, level := range []evalResult{sys, loc} {
+			if !level.applicable || level.decision != No {
+				continue
+			}
+			if level.challenge == "" {
+				curable = false
+				break
+			}
+			if challenge == "" {
+				challenge = level.challenge
+			}
+		}
+		if curable {
+			out.challenge = challenge
+		}
+	}
+	return out
+}
+
+// evaluatePolicy runs the scan over both levels, composes, and returns
+// the combined result plus the deciding entries of every applicable
+// level (their request-result/mid/post blocks belong to the answer).
+func (a *API) evaluatePolicy(ctx context.Context, p *Policy, req *Request) (evalResult, []decidingEntry) {
+	var (
+		sysResults, locResults []evalResult
+		deciders               []decidingEntry
+	)
+	for _, e := range p.System {
+		r := a.evaluateEACL(ctx, e, req)
+		sysResults = append(sysResults, r)
+		if r.applicable && r.entry != nil {
+			deciders = append(deciders, decidingEntry{entry: r.entry, source: r.source})
+		}
+	}
+	sys := combineLevel(sysResults)
+	sysExists := len(p.System) > 0
+
+	var loc evalResult
+	loc.decision = Maybe
+	if !(p.Mode == eacl.ModeStop && sysExists) {
+		for _, e := range p.Local {
+			r := a.evaluateEACL(ctx, e, req)
+			locResults = append(locResults, r)
+			if r.applicable && r.entry != nil {
+				deciders = append(deciders, decidingEntry{entry: r.entry, source: r.source})
+			}
+		}
+		loc = combineLevel(locResults)
+	}
+	return composeLevels(p.Mode, sys, loc, sysExists), deciders
+}
+
+// decidingEntry is an entry that fired (or went uncertain) during the
+// scan; its request-result, mid and post blocks participate in the
+// later phases.
+type decidingEntry struct {
+	entry  *eacl.Entry
+	source string
+}

@@ -1,0 +1,112 @@
+package gaa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecisionString(t *testing.T) {
+	tests := []struct {
+		d    Decision
+		want string
+	}{
+		{Yes, "yes"}, {No, "no"}, {Maybe, "maybe"}, {Decision(9), "Decision(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.d), got, tt.want)
+		}
+	}
+}
+
+func TestConjoin(t *testing.T) {
+	tests := []struct {
+		a, b, want Decision
+	}{
+		{Yes, Yes, Yes},
+		{Yes, No, No},
+		{Yes, Maybe, Maybe},
+		{No, Maybe, No},
+		{No, No, No},
+		{Maybe, Maybe, Maybe},
+		{0, Yes, Yes},
+		{No, 0, No},
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Conjoin(tt.a, tt.b); got != tt.want {
+			t.Errorf("Conjoin(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDisjoin(t *testing.T) {
+	tests := []struct {
+		a, b, want Decision
+	}{
+		{Yes, Yes, Yes},
+		{Yes, No, Yes},
+		{Yes, Maybe, Yes},
+		{No, Maybe, Maybe},
+		{No, No, No},
+		{Maybe, Maybe, Maybe},
+		{0, No, No},
+		{Maybe, 0, Maybe},
+	}
+	for _, tt := range tests {
+		if got := Disjoin(tt.a, tt.b); got != tt.want {
+			t.Errorf("Disjoin(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Lattice properties of the combiners, checked with testing/quick over
+// the valid decision domain.
+func TestCombinerProperties(t *testing.T) {
+	domain := []Decision{Yes, No, Maybe}
+	clamp := func(x uint8) Decision { return domain[int(x)%len(domain)] }
+
+	commutative := func(x, y uint8) bool {
+		a, b := clamp(x), clamp(y)
+		return Conjoin(a, b) == Conjoin(b, a) && Disjoin(a, b) == Disjoin(b, a)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+
+	associative := func(x, y, z uint8) bool {
+		a, b, c := clamp(x), clamp(y), clamp(z)
+		return Conjoin(Conjoin(a, b), c) == Conjoin(a, Conjoin(b, c)) &&
+			Disjoin(Disjoin(a, b), c) == Disjoin(a, Disjoin(b, c))
+	}
+	if err := quick.Check(associative, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+
+	idempotent := func(x uint8) bool {
+		a := clamp(x)
+		return Conjoin(a, a) == a && Disjoin(a, a) == a
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("idempotence: %v", err)
+	}
+
+	// Identity of the zero value.
+	identity := func(x uint8) bool {
+		a := clamp(x)
+		return Conjoin(0, a) == a && Conjoin(a, 0) == a &&
+			Disjoin(0, a) == a && Disjoin(a, 0) == a
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+
+	// Absorption: No dominates conjunction, Yes dominates disjunction.
+	absorption := func(x uint8) bool {
+		a := clamp(x)
+		return Conjoin(No, a) == No && Disjoin(Yes, a) == Yes
+	}
+	if err := quick.Check(absorption, nil); err != nil {
+		t.Errorf("absorption: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package gaa
+
+import (
+	"context"
+	"fmt"
+
+	"gaaapi/internal/eacl"
+)
+
+// evalResult is the outcome of scanning one EACL.
+type evalResult struct {
+	decision    Decision
+	applicable  bool
+	entry       *eacl.Entry // deciding entry, nil when inapplicable
+	source      string
+	unevaluated []eacl.Condition
+	challenge   string
+	trace       []TraceEvent
+}
+
+// evaluateEACL scans the ordered entries of one EACL for the requested
+// rights and returns the first firing entry's decision (see the package
+// comment for the full semantics). Request-result conditions are NOT
+// evaluated here: they run once the composed decision is known.
+func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) evalResult {
+	res := evalResult{source: e.Source}
+	for i := range e.Entries {
+		entry := &e.Entries[i]
+		if !entryMatches(entry, req) {
+			continue
+		}
+		var (
+			sawNo  bool
+			maybes []eacl.Condition
+		)
+		pre := entry.Block(eacl.BlockPre)
+		for _, cond := range pre {
+			out := a.evaluateCondition(ctx, cond, req)
+			res.trace = append(res.trace, TraceEvent{
+				Source: e.Source, EntryLine: entry.Line, Cond: cond, Outcome: out,
+			})
+			switch out.Result {
+			case No:
+				if out.classOrDefault() == ClassSelector || entry.Right.Sign == eacl.Neg {
+					// Entry inapplicable: scan continues.
+					sawNo = true
+				} else {
+					// Failed requirement on a positive entry: final
+					// deny, possibly with an authentication challenge.
+					res.decision = No
+					res.applicable = true
+					res.entry = entry
+					res.challenge = out.Challenge
+					res.trace = append(res.trace, TraceEvent{
+						Source: e.Source, EntryLine: entry.Line,
+						Note: fmt.Sprintf("requirement failed: %s", out.Detail),
+					})
+					return res
+				}
+			case Maybe:
+				maybes = append(maybes, cond)
+			case Yes:
+				// condition met; continue within the entry
+			default:
+				// An evaluator returned a zero/invalid decision;
+				// treat as unevaluated for fail-safety.
+				maybes = append(maybes, cond)
+			}
+			if sawNo {
+				break // conditions are ordered; a selector NO ends the entry
+			}
+		}
+		if sawNo {
+			res.trace = append(res.trace, TraceEvent{
+				Source: e.Source, EntryLine: entry.Line, Note: "entry inapplicable",
+			})
+			continue
+		}
+		if len(maybes) > 0 {
+			res.decision = Maybe
+			res.applicable = true
+			res.entry = entry
+			res.unevaluated = maybes
+			res.trace = append(res.trace, TraceEvent{
+				Source: e.Source, EntryLine: entry.Line,
+				Note: fmt.Sprintf("entry uncertain: %d condition(s) unevaluated", len(maybes)),
+			})
+			return res
+		}
+		// All pre-conditions met: the entry fires.
+		res.applicable = true
+		res.entry = entry
+		if entry.Right.Sign == eacl.Pos {
+			res.decision = Yes
+			res.trace = append(res.trace, TraceEvent{
+				Source: e.Source, EntryLine: entry.Line, Note: "entry fired: grant",
+			})
+		} else {
+			res.decision = No
+			res.trace = append(res.trace, TraceEvent{
+				Source: e.Source, EntryLine: entry.Line, Note: "entry fired: deny",
+			})
+		}
+		return res
+	}
+	// No entry applied: uncertain.
+	res.decision = Maybe
+	return res
+}
+
+// entryMatches reports whether the entry's right covers any requested
+// right.
+func entryMatches(entry *eacl.Entry, req *Request) bool {
+	for _, r := range req.Rights {
+		if eacl.MatchRight(entry.Right, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluateCondition dispatches one condition to its registered
+// evaluator. Unregistered conditions evaluate to MAYBE/unevaluated
+// (paper section 6: "The GAA-API returns MAYBE if the corresponding
+// condition evaluation function is not registered"). Evaluator panics
+// are not recovered — evaluators are trusted in-process modules — but
+// evaluator errors degrade to MAYBE.
+func (a *API) evaluateCondition(ctx context.Context, cond eacl.Condition, req *Request) Outcome {
+	ev, ok := a.reg.lookup(cond.Type, cond.DefAuth)
+	if !ok {
+		return UnevaluatedOutcome("no evaluator registered")
+	}
+	// Adaptive constraint specification (paper section 2): '@name'
+	// tokens in the condition value resolve through the runtime value
+	// provider before the evaluator sees them.
+	if resolved, ok := resolveValue(cond.Value, a.values); ok {
+		cond.Value = resolved
+	} else {
+		return UnevaluatedOutcome("unresolved runtime value reference in " + cond.Value)
+	}
+	out := ev.Evaluate(ctx, cond, req)
+	if out.Err != nil && out.Result != No {
+		// Fail safe: an erroring evaluator cannot assert YES.
+		out.Result = Maybe
+		out.Unevaluated = true
+	}
+	return out
+}
+
+// evaluateBlock evaluates an ordered condition slice (request-result,
+// mid or post blocks) and returns the conjunction of the outcomes plus
+// the trace. Used by the request-result, execution-control and
+// post-execution phases where every condition runs (no entry-selection
+// short-circuit).
+func (a *API) evaluateBlock(ctx context.Context, source string, entryLine int, conds []eacl.Condition, req *Request) (Decision, []TraceEvent) {
+	if len(conds) == 0 {
+		return Yes, nil
+	}
+	var (
+		combined Decision
+		trace    = make([]TraceEvent, 0, len(conds))
+	)
+	for _, cond := range conds {
+		out := a.evaluateCondition(ctx, cond, req)
+		trace = append(trace, TraceEvent{
+			Source: source, EntryLine: entryLine, Cond: cond, Outcome: out,
+		})
+		combined = Conjoin(combined, out.Result)
+	}
+	return combined, trace
+}

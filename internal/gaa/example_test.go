@@ -1,0 +1,77 @@
+package gaa_test
+
+import (
+	"context"
+	"fmt"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+)
+
+// Example shows the minimal GAA-API cycle: register a condition
+// evaluator, load a policy, check an authorization.
+func Example() {
+	api := gaa.New()
+	// A toy threat-level condition: met when the value is "low".
+	api.RegisterFunc("system_threat_level", gaa.AuthorityAny,
+		func(_ context.Context, c eacl.Condition, _ *gaa.Request) gaa.Outcome {
+			if c.Value == "=low" {
+				return gaa.MetOutcome(gaa.ClassSelector, "normal operation")
+			}
+			return gaa.FailedOutcome(gaa.ClassSelector, "threat raised")
+		})
+
+	source := gaa.NewMemorySource()
+	_ = source.AddPolicy("*", `
+pos_access_right myapp *
+pre_cond_system_threat_level local =low
+`)
+	policy, _ := api.GetObjectPolicyInfo("/report.html", nil, []gaa.PolicySource{source})
+
+	ans, _ := api.CheckAuthorization(context.Background(),
+		policy, gaa.NewRequest("myapp", "GET /report.html"))
+	fmt.Println("decision:", ans.Decision)
+	// Output:
+	// decision: yes
+}
+
+// ExampleValues shows adaptive constraint values: the same policy
+// evaluates differently after the runtime value changes.
+func ExampleValues() {
+	values := gaa.NewValues()
+	values.Set("limit", "1000")
+
+	api := gaa.New(gaa.WithValues(values))
+	api.RegisterFunc("expr", gaa.AuthorityAny,
+		func(_ context.Context, c eacl.Condition, _ *gaa.Request) gaa.Outcome {
+			// The evaluator sees the resolved value.
+			fmt.Println("evaluating:", c.Value)
+			return gaa.FailedOutcome(gaa.ClassSelector, "")
+		})
+
+	source := gaa.NewMemorySource()
+	_ = source.AddPolicy("*", `
+neg_access_right myapp *
+pre_cond_expr local input_length>@limit
+`)
+	policy, _ := api.GetObjectPolicyInfo("/x", nil, []gaa.PolicySource{source})
+	req := gaa.NewRequest("myapp", "GET /x")
+
+	_, _ = api.CheckAuthorization(context.Background(), policy, req)
+	values.Set("limit", "500") // an IDS tightening the bound
+	_, _ = api.CheckAuthorization(context.Background(), policy, req)
+	// Output:
+	// evaluating: input_length>1000
+	// evaluating: input_length>500
+}
+
+// ExampleConjoin demonstrates the tri-state combiners.
+func ExampleConjoin() {
+	fmt.Println(gaa.Conjoin(gaa.Yes, gaa.No))
+	fmt.Println(gaa.Conjoin(gaa.Yes, gaa.Maybe))
+	fmt.Println(gaa.Disjoin(gaa.No, gaa.Yes))
+	// Output:
+	// no
+	// maybe
+	// yes
+}

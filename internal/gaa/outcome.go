@@ -1,0 +1,80 @@
+package gaa
+
+import "fmt"
+
+// Class describes how a condition outcome participates in entry
+// selection (see the package comment).
+type Class int
+
+const (
+	// ClassSelector conditions decide whether the entry applies to the
+	// current request/system state; NO means "entry inapplicable, keep
+	// scanning" (threat level, time window, location, group membership,
+	// request signatures).
+	ClassSelector Class = iota + 1
+	// ClassRequirement conditions must hold once the entry applies; NO
+	// on a positive entry is a final deny, optionally carrying an
+	// authentication challenge (access identity, payload limits).
+	ClassRequirement
+	// ClassAction conditions perform side effects (notification, audit,
+	// blacklist update); they normally evaluate YES and are only legal
+	// in request-result and post blocks.
+	ClassAction
+)
+
+// String returns a symbolic name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassSelector:
+		return "selector"
+	case ClassRequirement:
+		return "requirement"
+	case ClassAction:
+		return "action"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Outcome is the result of evaluating one condition.
+type Outcome struct {
+	// Result is the tri-state condition status.
+	Result Decision
+	// Class steers entry selection; the zero value is treated as
+	// ClassSelector, the common case.
+	Class Class
+	// Unevaluated marks a condition deliberately (or for lack of a
+	// registered evaluator) left unevaluated; Result must be Maybe.
+	Unevaluated bool
+	// Challenge optionally tells the application how the requester
+	// could satisfy a failed requirement (e.g. a Basic-auth realm).
+	Challenge string
+	// Detail is a human-readable explanation recorded in the trace.
+	Detail string
+	// Err records an evaluator failure; the engine degrades it to
+	// MAYBE and keeps the error in the trace.
+	Err error
+}
+
+// classOrDefault resolves the zero Class to ClassSelector.
+func (o Outcome) classOrDefault() Class {
+	if o.Class == 0 {
+		return ClassSelector
+	}
+	return o.Class
+}
+
+// MetOutcome is shorthand for a satisfied condition of the given class.
+func MetOutcome(class Class, detail string) Outcome {
+	return Outcome{Result: Yes, Class: class, Detail: detail}
+}
+
+// FailedOutcome is shorthand for an unmet condition of the given class.
+func FailedOutcome(class Class, detail string) Outcome {
+	return Outcome{Result: No, Class: class, Detail: detail}
+}
+
+// UnevaluatedOutcome is shorthand for a condition left unevaluated.
+func UnevaluatedOutcome(detail string) Outcome {
+	return Outcome{Result: Maybe, Unevaluated: true, Detail: detail}
+}

@@ -1,0 +1,78 @@
+package gaa
+
+import "strconv"
+
+// Well-known parameter types extracted from an application request.
+// Parameters are classified with a type and an authority "so that
+// GAA-API routines that evaluate conditions with the same type and
+// authority could find the relevant parameters" (paper section 6).
+const (
+	ParamClientIP    = "client_ip"     // dotted-quad client address
+	ParamClientHost  = "client_host"   // resolved client host name
+	ParamRequestURI  = "request_uri"   // method + URI, e.g. "GET /cgi-bin/phf?x=1"
+	ParamMethod      = "method"        // HTTP method
+	ParamPath        = "path"          // URL path component
+	ParamQuery       = "query"         // raw query string
+	ParamUser        = "accessid_USER" // authenticated user identity
+	ParamGroupKey    = "group_key"     // identity checked against groups (defaults to client_ip)
+	ParamInputLength = "input_length"  // length of input passed to the operation (CGI input)
+	ParamHeaderCount = "header_count"  // number of request headers
+	ParamObject      = "object"        // the protected object (file system path)
+
+	// Execution-phase usage parameters (mid-conditions).
+	ParamCPUMillis    = "cpu_ms"
+	ParamWallMillis   = "wall_ms"
+	ParamMemBytes     = "mem_bytes"
+	ParamOutputBytes  = "output_bytes"
+	ParamOpStatusName = "op_status" // "yes"/"no", post-condition phase
+)
+
+// AuthorityAny marks parameters meaningful to any defining authority.
+const AuthorityAny = "*"
+
+// Param is one typed request parameter.
+type Param struct {
+	Type      string
+	Authority string
+	Value     string
+}
+
+// ParamList is an ordered list of request parameters with typed lookup.
+type ParamList []Param
+
+// Get returns the first parameter of the given type whose authority
+// matches (exact match, or either side being AuthorityAny).
+func (ps ParamList) Get(paramType, authority string) (string, bool) {
+	for _, p := range ps {
+		if p.Type != paramType {
+			continue
+		}
+		if p.Authority == authority || p.Authority == AuthorityAny || authority == AuthorityAny {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// GetInt is Get followed by integer conversion; ok is false if the
+// parameter is missing or not an integer.
+func (ps ParamList) GetInt(paramType, authority string) (int64, bool) {
+	s, ok := ps.Get(paramType, authority)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// With returns a copy of the list with extra parameters appended. The
+// receiver is never mutated, so evaluators can safely hold references.
+func (ps ParamList) With(extra ...Param) ParamList {
+	out := make(ParamList, 0, len(ps)+len(extra))
+	out = append(out, ps...)
+	out = append(out, extra...)
+	return out
+}

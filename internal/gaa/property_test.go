@@ -1,0 +1,210 @@
+package gaa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"gaaapi/internal/eacl"
+)
+
+// genPolicy builds a random policy from a bounded vocabulary so that
+// every condition has a registered evaluator with a deterministic
+// outcome (sel_yes / sel_no / req_yes / req_no / maybe).
+func genPolicy(rng *rand.Rand, entries int) *eacl.EACL {
+	condTypes := []string{"sel_yes", "sel_no", "req_yes", "req_no", "maybe"}
+	var b strings.Builder
+	for i := 0; i < entries; i++ {
+		if rng.Intn(2) == 0 {
+			b.WriteString("pos_access_right apache *\n")
+		} else {
+			b.WriteString("neg_access_right apache *\n")
+		}
+		for c := rng.Intn(3); c > 0; c-- {
+			fmt.Fprintf(&b, "pre_cond_%s local\n", condTypes[rng.Intn(len(condTypes))])
+		}
+	}
+	e, err := eacl.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TestPropertyEvaluationDeterministic: the same policy and request
+// always produce the same decision.
+func TestPropertyEvaluationDeterministic(t *testing.T) {
+	a, _ := newTestAPI(t)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		e := genPolicy(rng, 1+rng.Intn(6))
+		p := NewPolicy("/x", nil, []*eacl.EACL{e})
+		first := checkAuth(t, a, p, simpleRequest()).Decision
+		for j := 0; j < 3; j++ {
+			if got := checkAuth(t, a, p, simpleRequest()).Decision; got != first {
+				t.Fatalf("non-deterministic decision for policy:\n%s\nfirst=%v now=%v", e, first, got)
+			}
+		}
+	}
+}
+
+// TestPropertyPrefixStability: once a prefix of the entry list decides
+// (the scan returned before reaching the suffix), appending entries
+// never changes the decision — "the entries which already have been
+// examined take precedence over new entries" (paper section 2).
+func TestPropertyPrefixStability(t *testing.T) {
+	a, _ := newTestAPI(t)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		prefix := genPolicy(rng, 1+rng.Intn(4))
+		pPrefix := NewPolicy("/x", nil, []*eacl.EACL{prefix})
+		ansPrefix := checkAuth(t, a, pPrefix, simpleRequest())
+		if !ansPrefix.Applicable {
+			continue // prefix did not decide; suffix may
+		}
+
+		extended := prefix.Clone()
+		suffix := genPolicy(rng, 1+rng.Intn(4))
+		extended.Entries = append(extended.Entries, suffix.Entries...)
+		pExt := NewPolicy("/x", nil, []*eacl.EACL{extended})
+		ansExt := checkAuth(t, a, pExt, simpleRequest())
+		if ansExt.Decision != ansPrefix.Decision {
+			t.Fatalf("appending entries changed a decided prefix: %v -> %v\nprefix:\n%s\nextended:\n%s",
+				ansPrefix.Decision, ansExt.Decision, prefix, extended)
+		}
+	}
+}
+
+// TestPropertyNarrowConjunction: under narrow composition, the result
+// never grants more than either level alone would (ordering
+// No < Maybe < Yes on the grant scale).
+func TestPropertyNarrowConjunction(t *testing.T) {
+	a, _ := newTestAPI(t)
+	rng := rand.New(rand.NewSource(37))
+	grantRank := map[Decision]int{No: 0, Maybe: 1, Yes: 2}
+	for i := 0; i < 300; i++ {
+		sys := genPolicy(rng, 1+rng.Intn(4))
+		sys.Mode, sys.ModeSet = eacl.ModeNarrow, true
+		loc := genPolicy(rng, 1+rng.Intn(4))
+
+		sysOnly := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{sys}, nil), simpleRequest())
+		locOnly := checkAuth(t, a, NewPolicy("/x", nil, []*eacl.EACL{loc}), simpleRequest())
+		both := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{sys}, []*eacl.EACL{loc}), simpleRequest())
+
+		// Conjunction bound applies per applicable level.
+		if sysOnly.Applicable && grantRank[both.Decision] > grantRank[sysOnly.Decision] {
+			t.Fatalf("narrow composition grants beyond system level: sys=%v both=%v\nsys:\n%s\nloc:\n%s",
+				sysOnly.Decision, both.Decision, sys, loc)
+		}
+		if locOnly.Applicable && grantRank[both.Decision] > grantRank[locOnly.Decision] {
+			t.Fatalf("narrow composition grants beyond local level: loc=%v both=%v\nsys:\n%s\nloc:\n%s",
+				locOnly.Decision, both.Decision, sys, loc)
+		}
+	}
+}
+
+// TestPropertyExpandDisjunction: under expand composition, the result
+// never grants less than the more permissive level.
+func TestPropertyExpandDisjunction(t *testing.T) {
+	a, _ := newTestAPI(t)
+	rng := rand.New(rand.NewSource(41))
+	grantRank := map[Decision]int{No: 0, Maybe: 1, Yes: 2}
+	for i := 0; i < 300; i++ {
+		sys := genPolicy(rng, 1+rng.Intn(4))
+		sys.Mode, sys.ModeSet = eacl.ModeExpand, true
+		loc := genPolicy(rng, 1+rng.Intn(4))
+
+		sysOnly := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{sys}, nil), simpleRequest())
+		locOnly := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{mustEACL(t, "eacl_mode expand\npos_access_right sshd never")}, []*eacl.EACL{loc}), simpleRequest())
+		both := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{sys}, []*eacl.EACL{loc}), simpleRequest())
+
+		best := grantRank[sysOnly.Decision]
+		if sysOnly.Applicable || locOnly.Applicable {
+			if !sysOnly.Applicable {
+				best = grantRank[locOnly.Decision]
+			} else if locOnly.Applicable && grantRank[locOnly.Decision] > best {
+				best = grantRank[locOnly.Decision]
+			}
+			if grantRank[both.Decision] < best {
+				t.Fatalf("expand composition grants less than best level: sys=%v loc=%v both=%v\nsys:\n%s\nloc:\n%s",
+					sysOnly.Decision, locOnly.Decision, both.Decision, sys, loc)
+			}
+		}
+	}
+}
+
+// TestPropertyStopIgnoresLocal: under stop with a system policy, local
+// policies never influence the decision.
+func TestPropertyStopIgnoresLocal(t *testing.T) {
+	a, _ := newTestAPI(t)
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 300; i++ {
+		sys := genPolicy(rng, 1+rng.Intn(4))
+		sys.Mode, sys.ModeSet = eacl.ModeStop, true
+		locA := genPolicy(rng, 1+rng.Intn(4))
+		locB := genPolicy(rng, 1+rng.Intn(4))
+
+		withA := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{sys}, []*eacl.EACL{locA}), simpleRequest())
+		withB := checkAuth(t, a, NewPolicy("/x", []*eacl.EACL{sys}, []*eacl.EACL{locB}), simpleRequest())
+		if withA.Decision != withB.Decision {
+			t.Fatalf("stop mode leaked local influence: %v vs %v\nsys:\n%s", withA.Decision, withB.Decision, sys)
+		}
+	}
+}
+
+// TestPropertyUncertainWithoutEntries: a request whose rights match no
+// entry is always uncertain, whatever the policy contents.
+func TestPropertyUncertainWithoutEntries(t *testing.T) {
+	a, _ := newTestAPI(t)
+	rng := rand.New(rand.NewSource(67))
+	foreign := NewRequest("ftp", "RETR /file")
+	for i := 0; i < 200; i++ {
+		e := genPolicy(rng, 1+rng.Intn(6)) // all entries are "apache *"
+		p := NewPolicy("/x", nil, []*eacl.EACL{e})
+		ans := checkAuth(t, a, p, foreign)
+		if ans.Decision != Maybe || ans.Applicable {
+			t.Fatalf("foreign right decided: %v applicable=%v\npolicy:\n%s", ans.Decision, ans.Applicable, e)
+		}
+	}
+}
+
+// TestConcurrentCheckAuthorization exercises the API from many
+// goroutines (validated further by `go test -race`).
+func TestConcurrentCheckAuthorization(t *testing.T) {
+	a, _ := newTestAPI(t)
+	e := mustEACL(t, `
+neg_access_right apache *
+pre_cond_sel_no local
+pos_access_right apache *
+pre_cond_sel_yes local
+rr_cond_record local on:success/hit
+`)
+	p := NewPolicy("/x", nil, []*eacl.EACL{e})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ans, err := a.CheckAuthorization(context.Background(), p, simpleRequest())
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if ans.Decision != Yes {
+					errs <- "decision " + ans.Decision.String()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent evaluation failed: %s", e)
+	}
+}

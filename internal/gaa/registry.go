@@ -1,0 +1,74 @@
+package gaa
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"gaaapi/internal/eacl"
+)
+
+// Evaluator evaluates one condition kind. Implementations are
+// registered with the API under a (condition type, defining authority)
+// pair; the GAA-API "is structured to support the addition of modules
+// for evaluation of new conditions" (paper section 5).
+type Evaluator interface {
+	Evaluate(ctx context.Context, cond eacl.Condition, req *Request) Outcome
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(ctx context.Context, cond eacl.Condition, req *Request) Outcome
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(ctx context.Context, cond eacl.Condition, req *Request) Outcome {
+	return f(ctx, cond, req)
+}
+
+type regKey struct {
+	condType string
+	defAuth  string
+}
+
+// registry stores condition evaluators with two-step lookup: exact
+// (type, authority), then (type, "*").
+type registry struct {
+	mu    sync.RWMutex
+	evals map[regKey]Evaluator
+}
+
+func newRegistry() *registry {
+	return &registry{evals: make(map[regKey]Evaluator)}
+}
+
+func (r *registry) register(condType, defAuth string, ev Evaluator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evals[regKey{condType, defAuth}] = ev
+}
+
+func (r *registry) lookup(condType, defAuth string) (Evaluator, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ev, ok := r.evals[regKey{condType, defAuth}]; ok {
+		return ev, true
+	}
+	ev, ok := r.evals[regKey{condType, AuthorityAny}]
+	return ev, ok
+}
+
+func (r *registry) known(condType, defAuth string) bool {
+	_, ok := r.lookup(condType, defAuth)
+	return ok
+}
+
+// registered returns "type authority" strings, sorted, for diagnostics.
+func (r *registry) registered() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.evals))
+	for k := range r.evals {
+		out = append(out, k.condType+" "+k.defAuth)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,44 @@
+package gaa
+
+import (
+	"time"
+
+	"gaaapi/internal/eacl"
+)
+
+// Request is the authorization request handed to the GAA-API: the
+// rights the application asks about plus the context parameters
+// extracted from the application request (paper section 6, step 2b).
+type Request struct {
+	// Rights the caller requests; an EACL entry is considered when its
+	// right matches any of them. Sign on requested rights is ignored.
+	Rights []eacl.Right
+	// Params carries typed context (client address, URI, input length,
+	// usage counters during execution control, ...).
+	Params ParamList
+	// Time is the request time; the zero value means the API clock.
+	Time time.Time
+
+	// Decision is filled in by the engine before request-result
+	// conditions run, so their on:success/on:failure triggers can see
+	// whether the authorization request was granted.
+	Decision Decision
+	// OpStatus is filled in before post-conditions run: whether the
+	// requested operation itself succeeded.
+	OpStatus Decision
+}
+
+// NewRequest builds a request for a single right.
+func NewRequest(defAuth, rightValue string, params ...Param) *Request {
+	return &Request{
+		Rights: []eacl.Right{{Sign: eacl.Pos, DefAuth: defAuth, Value: rightValue}},
+		Params: ParamList(params),
+	}
+}
+
+// clone returns a shallow copy safe for phase-local mutation (Decision,
+// OpStatus, appended params) without affecting the caller's Request.
+func (r *Request) clone() *Request {
+	cp := *r
+	return &cp
+}

@@ -1,0 +1,234 @@
+package gaa
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"strings"
+	"sync"
+
+	"gaaapi/internal/eacl"
+)
+
+// PolicySource supplies the EACLs governing an object. Sources are
+// consulted at access-control time (paper section 6, step 2a); the API
+// composes system-wide sources ahead of local ones.
+type PolicySource interface {
+	// Policies returns the EACLs governing object, in priority order.
+	// A source with nothing to say returns an empty slice.
+	Policies(object string) ([]*eacl.EACL, error)
+	// Revision identifies the current content version for the object;
+	// the policy cache invalidates when it changes. Implementations
+	// may return a constant if they never change.
+	Revision(object string) (string, error)
+}
+
+// MemorySource is an in-memory policy source mapping object glob
+// patterns to EACLs. It is safe for concurrent use.
+type MemorySource struct {
+	mu      sync.RWMutex
+	entries []memEntry
+	rev     int
+}
+
+type memEntry struct {
+	pattern string
+	eacl    *eacl.EACL
+}
+
+// NewMemorySource returns an empty in-memory source.
+func NewMemorySource() *MemorySource {
+	return &MemorySource{}
+}
+
+// Add registers an EACL for every object matching pattern ('*' glob).
+func (m *MemorySource) Add(pattern string, e *eacl.EACL) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = append(m.entries, memEntry{pattern: pattern, eacl: e})
+	m.rev++
+}
+
+// AddPolicy parses src and registers it under pattern.
+func (m *MemorySource) AddPolicy(pattern, src string) error {
+	e, err := eacl.ParseString(src)
+	if err != nil {
+		return err
+	}
+	m.Add(pattern, e)
+	return nil
+}
+
+// Policies implements PolicySource.
+func (m *MemorySource) Policies(object string) ([]*eacl.EACL, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*eacl.EACL
+	for _, en := range m.entries {
+		if eacl.Glob(en.pattern, object) {
+			out = append(out, en.eacl)
+		}
+	}
+	return out, nil
+}
+
+// Revision implements PolicySource.
+func (m *MemorySource) Revision(string) (string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return fmt.Sprintf("mem-%d", m.rev), nil
+}
+
+// FileSource reads one policy file that governs every object (the
+// paper's system-wide policy file). Parses are cached and invalidated
+// by file modification time and size.
+type FileSource struct {
+	path string
+
+	mu     sync.Mutex
+	cached *eacl.EACL
+	stamp  string
+}
+
+// NewFileSource returns a source backed by the policy file at path.
+// A missing file is not an error: the source simply supplies nothing,
+// so deployments without a system-wide policy work unchanged.
+func NewFileSource(path string) *FileSource {
+	return &FileSource{path: path}
+}
+
+// Policies implements PolicySource.
+func (f *FileSource) Policies(string) ([]*eacl.EACL, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	stamp, err := fileStamp(f.path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			f.cached, f.stamp = nil, ""
+			return nil, nil
+		}
+		return nil, err
+	}
+	if f.cached == nil || stamp != f.stamp {
+		e, err := eacl.ParseFile(f.path)
+		if err != nil {
+			return nil, err
+		}
+		f.cached, f.stamp = e, stamp
+	}
+	return []*eacl.EACL{f.cached}, nil
+}
+
+// Revision implements PolicySource.
+func (f *FileSource) Revision(string) (string, error) {
+	stamp, err := fileStamp(f.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return "absent", nil
+	}
+	return stamp, err
+}
+
+// DirSource maps objects (slash-separated paths) to per-directory
+// policy files, the way Apache looks for .htaccess "in every directory
+// of the path to the document". For object "/a/b/page.html" with Name
+// ".eacl" it consults <root>/.eacl, <root>/a/.eacl and <root>/a/b/.eacl
+// in that order. Parses are cached per file by modification stamp.
+type DirSource struct {
+	root string
+	name string
+
+	mu    sync.Mutex
+	cache map[string]dirCacheEntry
+}
+
+type dirCacheEntry struct {
+	eacl  *eacl.EACL // nil means "file absent"
+	stamp string
+}
+
+// NewDirSource returns a per-directory policy source rooted at root,
+// looking for files called name.
+func NewDirSource(root, name string) *DirSource {
+	return &DirSource{root: root, name: name, cache: make(map[string]dirCacheEntry)}
+}
+
+// Policies implements PolicySource.
+func (d *DirSource) Policies(object string) ([]*eacl.EACL, error) {
+	var out []*eacl.EACL
+	for _, dir := range objectDirs(object) {
+		file := path.Join(d.root, dir, d.name)
+		e, err := d.load(file)
+		if err != nil {
+			return nil, err
+		}
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// Revision implements PolicySource.
+func (d *DirSource) Revision(object string) (string, error) {
+	var b strings.Builder
+	for _, dir := range objectDirs(object) {
+		stamp, err := fileStamp(path.Join(d.root, dir, d.name))
+		if errors.Is(err, fs.ErrNotExist) {
+			stamp = "absent"
+		} else if err != nil {
+			return "", err
+		}
+		b.WriteString(stamp)
+		b.WriteByte(';')
+	}
+	return b.String(), nil
+}
+
+func (d *DirSource) load(file string) (*eacl.EACL, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stamp, err := fileStamp(file)
+	if errors.Is(err, fs.ErrNotExist) {
+		d.cache[file] = dirCacheEntry{}
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := d.cache[file]; ok && c.stamp == stamp && c.eacl != nil {
+		return c.eacl, nil
+	}
+	e, err := eacl.ParseFile(file)
+	if err != nil {
+		return nil, err
+	}
+	d.cache[file] = dirCacheEntry{eacl: e, stamp: stamp}
+	return e, nil
+}
+
+// objectDirs returns the directory chain for an object path: "" (root),
+// then each ancestor directory of the object. The object's final
+// component is treated as a leaf (file), matching Apache's behaviour.
+func objectDirs(object string) []string {
+	object = strings.Trim(path.Clean("/"+object), "/")
+	dirs := []string{""}
+	if object == "" || object == "." {
+		return dirs
+	}
+	parts := strings.Split(object, "/")
+	for i := 1; i < len(parts); i++ {
+		dirs = append(dirs, strings.Join(parts[:i], "/"))
+	}
+	return dirs
+}
+
+// fileStamp builds a cheap content-version string from file metadata.
+func fileStamp(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d-%d", fi.ModTime().UnixNano(), fi.Size()), nil
+}

@@ -1,0 +1,160 @@
+package gaahttp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gaaapi/internal/audit"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/httpd"
+)
+
+// failingSource errors on every operation.
+type failingSource struct{ err error }
+
+func (f failingSource) Policies(string) ([]*eacl.EACL, error) { return nil, f.err }
+func (f failingSource) Revision(string) (string, error)       { return "", f.err }
+
+// TestGuardFailsClosedOnPolicyError: a policy-retrieval failure must
+// not grant access.
+func TestGuardFailsClosedOnPolicyError(t *testing.T) {
+	g := New(Config{
+		API:    gaa.New(),
+		System: []gaa.PolicySource{failingSource{errors.New("disk on fire")}},
+	})
+	rec := httpd.NewRequestRec(httptest.NewRequest("GET", "/x", nil), nil, time.Now())
+	v := g.Check(rec)
+	if v.Status.Kind != httpd.StatusForbidden {
+		t.Errorf("verdict = %v, want Forbidden (fail closed)", v.Status.Kind)
+	}
+}
+
+// TestGuardAuditsDecisions: the Audit logger receives one record per
+// authorization.
+func TestGuardAuditsDecisions(t *testing.T) {
+	ring := audit.NewRing(8)
+	src := gaa.NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(Config{
+		API:   gaa.New(),
+		Local: []gaa.PolicySource{src},
+		Audit: ring,
+	})
+	req := httptest.NewRequest("GET", "/doc.html", nil)
+	req.RemoteAddr = "10.0.0.3:1"
+	g.Check(httpd.NewRequestRec(req, nil, time.Now()))
+	recs := ring.Records()
+	if len(recs) != 1 {
+		t.Fatalf("audit records = %d, want 1", len(recs))
+	}
+	if recs[0].Kind != "gaa_check_authorization" || recs[0].Decision != "yes" || recs[0].Object != "/doc.html" {
+		t.Errorf("record = %+v", recs[0])
+	}
+}
+
+// TestIllFormedReportPublished: control characters in the request line
+// produce an ill_formed_request report even when the request is
+// ultimately granted.
+func TestIllFormedReportPublished(t *testing.T) {
+	st, err := NewStack(StackConfig{
+		LocalPolicies: map[string]string{"*": "pos_access_right apache *"},
+		DocRoot:       map[string]string{"/x": "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sub := st.Bus.Subscribe(16)
+	defer sub.Cancel()
+
+	rec := &httpd.RequestRec{
+		Time: time.Now(), Method: "GET", Path: "/x",
+		URI: "GET /\x01x", ClientIP: "10.0.0.1", HeaderCount: 1,
+	}
+	st.Guard.Check(rec)
+	found := false
+	for len(sub.C) > 0 {
+		if (<-sub.C).Kind.String() == "ill_formed_request" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ill_formed_request report")
+	}
+}
+
+// TestUnusualBehaviorReport: a trained client deviating wildly gets an
+// unusual_behavior report on a GRANTED request.
+func TestUnusualBehaviorReport(t *testing.T) {
+	st, err := NewStack(StackConfig{
+		LocalPolicies: map[string]string{"*": "pos_access_right apache *"},
+		DocRoot:       map[string]string{"/index.html": "x", "/odd.html": "y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Train well past MinTraining on a constant profile.
+	for i := 0; i < 30; i++ {
+		st.Anomaly.Train("10.7.7.7", "/index.html", 0)
+	}
+	sub := st.Bus.Subscribe(16)
+	defer sub.Cancel()
+
+	req := httptest.NewRequest("GET", "/odd.html?q="+strings.Repeat("z", 400), nil)
+	req.RemoteAddr = "10.7.7.7:1"
+	w := httptest.NewRecorder()
+	st.Server.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("granted request = %d", w.Code)
+	}
+	found := false
+	for len(sub.C) > 0 {
+		if (<-sub.C).Kind.String() == "unusual_behavior" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no unusual_behavior report for a wildly deviating request")
+	}
+}
+
+// TestStackCloseFlushesAsyncNotifier: Close drains queued messages.
+func TestStackCloseFlushesAsyncNotifier(t *testing.T) {
+	st, err := NewStack(StackConfig{
+		LocalPolicies: map[string]string{"*": `
+neg_access_right apache *
+rr_cond_notify local on:failure/sysadmin/info:x
+`},
+		AsyncNotify:   true,
+		NotifyLatency: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httpd.NewRequestRec(httptest.NewRequest("GET", "/x", nil), nil, time.Now())
+	st.Guard.Check(rec)
+	st.Close() // must flush the queue
+	if st.Mailbox.Count() != 1 {
+		t.Errorf("messages after Close = %d, want 1 (flushed)", st.Mailbox.Count())
+	}
+	st.Close() // idempotent... Close on a closed stack must not panic
+}
+
+// TestGuardAuthorizationErrorFailsClosed covers the CheckAuthorization
+// error path (nil policy is impossible through GetObjectPolicyInfo, so
+// drive it directly).
+func TestGuardAuthorizationErrorFailsClosed(t *testing.T) {
+	api := gaa.New()
+	if _, err := api.CheckAuthorization(context.Background(), nil, gaa.NewRequest("apache", "GET /")); err == nil {
+		t.Fatal("expected error")
+	}
+}

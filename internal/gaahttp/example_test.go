@@ -1,0 +1,51 @@
+package gaahttp_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"gaaapi/internal/gaahttp"
+)
+
+// ExampleNewStack assembles a complete protected deployment and shows
+// the paper's section 7.2 behaviour: the exploit is denied and its
+// source blacklisted.
+func ExampleNewStack() {
+	st, err := gaahttp.NewStack(gaahttp.StackConfig{
+		SystemPolicy: `
+eacl_mode narrow
+neg_access_right * *
+pre_cond_accessid_GROUP local BadGuys
+`,
+		LocalPolicies: map[string]string{"*": `
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+rr_cond_update_log local on:failure/BadGuys/info:IP
+pos_access_right apache *
+`},
+		DocRoot: map[string]string{"/index.html": "home"},
+	})
+	if err != nil {
+		fmt.Println("stack:", err)
+		return
+	}
+	defer st.Close()
+
+	get := func(target, ip string) int {
+		req := httptest.NewRequest("GET", target, nil)
+		req.RemoteAddr = ip + ":40000"
+		w := httptest.NewRecorder()
+		st.Server.ServeHTTP(w, req)
+		return w.Code
+	}
+
+	fmt.Println("attack:", get("/cgi-bin/phf?Qalias=x", "10.0.0.66"))
+	fmt.Println("blacklisted:", st.Groups.Contains("BadGuys", "10.0.0.66"))
+	fmt.Println("follow-up:", get("/index.html", "10.0.0.66"))
+	fmt.Println("clean client:", get("/index.html", "10.0.0.9"))
+	// Output:
+	// attack: 403
+	// blacklisted: true
+	// follow-up: 403
+	// clean client: 200
+}

@@ -1,0 +1,75 @@
+package gaahttp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestAccountDisableRecipe demonstrates the paper's section 1
+// "disabling local account" countermeasure as a pure policy recipe —
+// no new mechanism needed: a neg entry keyed on membership in a
+// DisabledAccounts group, populated by rr_cond_update_log with
+// info:USER when a user trips an abuse signature.
+func TestAccountDisableRecipe(t *testing.T) {
+	const local = `
+# Accounts land here when they abuse the service; membership is keyed
+# on the authenticated user, not the address.
+neg_access_right apache *
+pre_cond_accessid_GROUP local DisabledAccounts
+
+# Tripping the abuse signature disables the account.
+neg_access_right apache *
+pre_cond_regex gnu *forbidden-export*
+rr_cond_update_log local on:failure/DisabledAccounts/info:USER
+rr_cond_notify local on:failure/sysadmin/info:account-disabled
+
+pos_access_right apache *
+pre_cond_accessid_USER apache *
+`
+	st, err := NewStack(StackConfig{
+		LocalPolicies: map[string]string{"*": local},
+		DocRoot: map[string]string{
+			"/data.html":             "data",
+			"/forbidden-export.html": "export-controlled",
+		},
+		Users: map[string]string{"alice": "pw", "bob": "pw"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	do := func(target, user, pass, ip string) int {
+		req := httptest.NewRequest("GET", target, nil)
+		req.RemoteAddr = ip + ":1"
+		req.SetBasicAuth(user, pass)
+		w := httptest.NewRecorder()
+		st.Server.ServeHTTP(w, req)
+		return w.Code
+	}
+
+	// Alice works normally.
+	if code := do("/data.html", "alice", "pw", "10.0.0.1"); code != http.StatusOK {
+		t.Fatalf("normal access = %d", code)
+	}
+	// Alice trips the abuse signature: denied and account disabled.
+	if code := do("/forbidden-export.html", "alice", "pw", "10.0.0.1"); code != http.StatusForbidden {
+		t.Fatalf("abuse request = %d, want 403", code)
+	}
+	if !st.Groups.Contains("DisabledAccounts", "alice") {
+		t.Fatal("account not disabled")
+	}
+	if st.Mailbox.Count() != 1 {
+		t.Errorf("notifications = %d, want 1", st.Mailbox.Count())
+	}
+	// The disabled account is refused everywhere — even from a new
+	// address (identity-keyed, unlike the BadGuys IP blacklist).
+	if code := do("/data.html", "alice", "pw", "172.16.9.9"); code != http.StatusForbidden {
+		t.Errorf("disabled account from new address = %d, want 403", code)
+	}
+	// Other users are unaffected.
+	if code := do("/data.html", "bob", "pw", "10.0.0.1"); code != http.StatusOK {
+		t.Errorf("unaffected user = %d, want 200", code)
+	}
+}

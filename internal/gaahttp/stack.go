@@ -1,0 +1,188 @@
+package gaahttp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gaaapi/internal/actions"
+	"gaaapi/internal/audit"
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/httpd"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/netblock"
+	"gaaapi/internal/notify"
+)
+
+// StackConfig describes a complete protected-web-server deployment.
+type StackConfig struct {
+	// SystemPolicy is the system-wide EACL source text ("" for none).
+	SystemPolicy string
+	// LocalPolicies maps object glob patterns to local EACL sources.
+	LocalPolicies map[string]string
+
+	// DocRoot maps URL paths to static content.
+	DocRoot map[string]string
+	// Htaccess maps directories to native .htaccess sources (the
+	// baseline Apache access control GAA declines to).
+	Htaccess map[string]string
+	// Users are Basic-auth credentials (user -> password).
+	Users map[string]string
+
+	// NotifyLatency is the synthetic mail-delivery latency (paper
+	// section 8 measures with and without notification).
+	NotifyLatency time.Duration
+	// AsyncNotify delivers notifications on a background worker
+	// instead of blocking policy evaluation (an ablation knob).
+	AsyncNotify bool
+	// PolicyCache enables the composed-policy cache (experiment E4).
+	PolicyCache bool
+	// SensitiveObjects are glob patterns reported on denial.
+	SensitiveObjects []string
+	// SpoofedSources are '*'-glob address patterns the simulated
+	// network IDS reports as spoofed; source-keyed countermeasures
+	// skip them.
+	SpoofedSources []string
+	// RuntimeValues seeds the '@name' runtime value store (the paper's
+	// adaptive constraint specification, section 2); the IDS or an
+	// administrator may update Stack.Values afterwards.
+	RuntimeValues map[string]string
+	// AccessLog, when non-nil, receives common-log-format lines.
+	AccessLog io.Writer
+	// Clock overrides time.Now for deterministic runs.
+	Clock func() time.Time
+}
+
+// Stack is a fully wired deployment: the GAA-API with all built-in
+// conditions and actions, the IDS substrate, the Apache-analog server
+// with the GAA guard in front of the htaccess baseline, and handles to
+// every component for inspection.
+type Stack struct {
+	API      *gaa.API
+	Guard    *Guard
+	Server   *httpd.Server
+	Threat   *ids.Manager
+	Bus      *ids.Bus
+	Sigs     *ids.DB
+	Anomaly  *ids.Detector
+	Groups   *groups.Store
+	Counters *conditions.Counters
+	Blocks   *netblock.Set
+	Mailbox  *notify.Mailbox
+	Audit    *audit.Ring
+	Network  *ids.StaticSpoofList
+	Values   *gaa.Values
+	System   *gaa.MemorySource
+	Local    *gaa.MemorySource
+
+	async *notify.Async
+}
+
+// NewStack wires everything. The returned stack must be Closed when an
+// async notifier was requested.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	st := &Stack{
+		Threat:   ids.NewManager(ids.Low),
+		Bus:      ids.NewBus(),
+		Sigs:     ids.NewDB(ids.DefaultSignatures()...),
+		Anomaly:  ids.NewDetector(ids.DefaultAnomalyConfig()),
+		Groups:   groups.NewStore(),
+		Counters: conditions.NewCounters(clock),
+		Blocks:   netblock.NewSet(netblock.WithClock(clock)),
+		Mailbox:  notify.NewMailbox(cfg.NotifyLatency),
+		Audit:    audit.NewRing(1024),
+		Network:  ids.NewStaticSpoofList(0.9, cfg.SpoofedSources...),
+		Values:   gaa.NewValues(),
+		System:   gaa.NewMemorySource(),
+		Local:    gaa.NewMemorySource(),
+	}
+	for name, value := range cfg.RuntimeValues {
+		st.Values.Set(name, value)
+	}
+
+	var apiOpts []gaa.Option
+	apiOpts = append(apiOpts, gaa.WithClock(clock), gaa.WithValues(st.Values))
+	if cfg.PolicyCache {
+		apiOpts = append(apiOpts, gaa.WithPolicyCache(1024))
+	}
+	st.API = gaa.New(apiOpts...)
+
+	conditions.Register(st.API, conditions.Deps{
+		Threat:     st.Threat,
+		Groups:     st.Groups,
+		Counters:   st.Counters,
+		Signatures: st.Sigs,
+	})
+	var notifier notify.Notifier = st.Mailbox
+	if cfg.AsyncNotify {
+		st.async = notify.NewAsync(st.Mailbox, 256)
+		notifier = st.async
+	}
+	actions.Register(st.API, actions.Deps{
+		Notifier: notifier,
+		Groups:   st.Groups,
+		Audit:    st.Audit,
+		Threat:   st.Threat,
+		Blocks:   st.Blocks,
+		Counters: st.Counters,
+		Spoof:    st.Network,
+	})
+
+	if cfg.SystemPolicy != "" {
+		if err := st.System.AddPolicy("*", cfg.SystemPolicy); err != nil {
+			return nil, fmt.Errorf("system policy: %w", err)
+		}
+	}
+	for pattern, src := range cfg.LocalPolicies {
+		if err := st.Local.AddPolicy(pattern, src); err != nil {
+			return nil, fmt.Errorf("local policy %q: %w", pattern, err)
+		}
+	}
+
+	st.Guard = New(Config{
+		API:              st.API,
+		System:           []gaa.PolicySource{st.System},
+		Local:            []gaa.PolicySource{st.Local},
+		Bus:              st.Bus,
+		Signatures:       st.Sigs,
+		Network:          st.Network,
+		Anomaly:          st.Anomaly,
+		Audit:            st.Audit,
+		SensitiveObjects: cfg.SensitiveObjects,
+	})
+
+	htauth := httpd.NewHtpasswd()
+	for user, pass := range cfg.Users {
+		htauth.SetPassword(user, pass)
+	}
+	htsrc := httpd.NewMapHtaccessSource()
+	for dir, src := range cfg.Htaccess {
+		if err := htsrc.SetString(dir, src); err != nil {
+			return nil, fmt.Errorf("htaccess %q: %w", dir, err)
+		}
+	}
+
+	st.Server = httpd.NewServer(httpd.Config{
+		DocRoot:   cfg.DocRoot,
+		Scripts:   httpd.NewDemoRegistry(),
+		Guards:    []httpd.Guard{st.Guard, httpd.NewBaselineGuard(htsrc, nil)},
+		Auth:      htauth,
+		Blocks:    st.Blocks,
+		AccessLog: cfg.AccessLog,
+		Clock:     clock,
+	})
+	return st, nil
+}
+
+// Close releases background workers (the async notifier).
+func (s *Stack) Close() {
+	if s.async != nil {
+		s.async.Close()
+	}
+}

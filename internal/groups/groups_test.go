@@ -1,0 +1,141 @@
+package groups
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := NewStore()
+	if !s.Add("BadGuys", "10.0.0.66") {
+		t.Error("first Add should report new membership")
+	}
+	if s.Add("BadGuys", "10.0.0.66") {
+		t.Error("second Add should report existing membership")
+	}
+	if !s.Contains("BadGuys", "10.0.0.66") {
+		t.Error("Contains after Add = false")
+	}
+	if s.Contains("BadGuys", "10.0.0.1") {
+		t.Error("Contains for non-member = true")
+	}
+	if s.Contains("GoodGuys", "10.0.0.66") {
+		t.Error("Contains for unknown group = true")
+	}
+	if !s.Remove("BadGuys", "10.0.0.66") {
+		t.Error("Remove of member should report true")
+	}
+	if s.Remove("BadGuys", "10.0.0.66") {
+		t.Error("Remove of non-member should report false")
+	}
+	if s.Remove("Nope", "x") {
+		t.Error("Remove from unknown group should report false")
+	}
+}
+
+func TestMembersSortedAndGroups(t *testing.T) {
+	s := NewStore()
+	s.Add("g", "charlie")
+	s.Add("g", "alice")
+	s.Add("g", "bob")
+	s.Add("a", "x")
+	if got, want := s.Members("g"), []string{"alice", "bob", "charlie"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Members = %v, want %v", got, want)
+	}
+	if got, want := s.Groups(), []string{"a", "g"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Groups = %v, want %v", got, want)
+	}
+	if s.Len("g") != 3 || s.Len("missing") != 0 {
+		t.Error("Len mismatch")
+	}
+	if got := s.Members("missing"); len(got) != 0 {
+		t.Errorf("Members(missing) = %v", got)
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Add("BadGuys", "10.0.0.66")
+	s.Add("BadGuys", "10.0.0.67")
+	s.Add("staff", "alice")
+
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored := NewStore()
+	if err := restored.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(restored.Members("BadGuys"), s.Members("BadGuys")) {
+		t.Errorf("round trip BadGuys = %v", restored.Members("BadGuys"))
+	}
+	if !restored.Contains("staff", "alice") {
+		t.Error("round trip lost staff member")
+	}
+}
+
+func TestLoadFormat(t *testing.T) {
+	s := NewStore()
+	err := s.Load(strings.NewReader(`
+# comment
+staff: alice bob
+
+empty-group:
+`))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !s.Contains("staff", "bob") {
+		t.Error("missing member from load")
+	}
+	if err := s.Load(strings.NewReader("not a group line")); err == nil {
+		t.Error("want error for malformed line")
+	}
+	if err := s.Load(strings.NewReader(": headless")); err == nil {
+		t.Error("want error for empty group name")
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "groups.txt")
+	s := NewStore()
+	s.Add("BadGuys", "192.168.1.5")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded := NewStore()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !loaded.Contains("BadGuys", "192.168.1.5") {
+		t.Error("persisted member lost")
+	}
+	// Missing file is not an error.
+	fresh := NewStore()
+	if err := fresh.LoadFile(filepath.Join(t.TempDir(), "absent")); err != nil {
+		t.Errorf("LoadFile(absent) = %v, want nil", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			member := string(rune('a' + i%8))
+			s.Add("g", member)
+			s.Contains("g", member)
+			s.Members("g")
+		}(i)
+	}
+	wg.Wait()
+	if s.Len("g") != 8 {
+		t.Errorf("Len = %d, want 8", s.Len("g"))
+	}
+}

@@ -1,0 +1,189 @@
+package httpd
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// HtaccessSource supplies the .htaccess chain governing an object,
+// outermost directory first — Apache "looks for an access control file
+// called .htaccess in every directory of the path to the document"
+// (paper section 4).
+type HtaccessSource interface {
+	For(object string) ([]*Htaccess, error)
+}
+
+// MapHtaccessSource is an in-memory source mapping directory paths
+// ("", "docs", "docs/private") to htaccess configurations.
+type MapHtaccessSource struct {
+	mu      sync.RWMutex
+	entries map[string]*Htaccess
+}
+
+// NewMapHtaccessSource returns an empty in-memory source.
+func NewMapHtaccessSource() *MapHtaccessSource {
+	return &MapHtaccessSource{entries: make(map[string]*Htaccess)}
+}
+
+// Set installs the htaccess for a directory ("" is the document root).
+func (m *MapHtaccessSource) Set(dir string, h *Htaccess) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[normalizeDir(dir)] = h
+}
+
+// SetString parses src and installs it for dir.
+func (m *MapHtaccessSource) SetString(dir, src string) error {
+	h, err := ParseHtaccessString(src)
+	if err != nil {
+		return err
+	}
+	m.Set(dir, h)
+	return nil
+}
+
+// For implements HtaccessSource.
+func (m *MapHtaccessSource) For(object string) ([]*Htaccess, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*Htaccess
+	for _, dir := range objectDirs(object) {
+		if h, ok := m.entries[dir]; ok {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// Dirs returns the configured directories, sorted (diagnostics).
+func (m *MapHtaccessSource) Dirs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.entries))
+	for d := range m.entries {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirHtaccessSource reads .htaccess files under a document root on
+// disk, caching parses by modification stamp.
+type DirHtaccessSource struct {
+	root string
+	name string
+
+	mu    sync.Mutex
+	cache map[string]htaccessCacheEntry
+}
+
+type htaccessCacheEntry struct {
+	h     *Htaccess // nil = file absent
+	stamp string
+}
+
+// NewDirHtaccessSource returns a source for files called name (e.g.
+// ".htaccess") under root.
+func NewDirHtaccessSource(root, name string) *DirHtaccessSource {
+	return &DirHtaccessSource{root: root, name: name, cache: make(map[string]htaccessCacheEntry)}
+}
+
+// For implements HtaccessSource.
+func (d *DirHtaccessSource) For(object string) ([]*Htaccess, error) {
+	var out []*Htaccess
+	for _, dir := range objectDirs(object) {
+		file := path.Join(d.root, dir, d.name)
+		h, err := d.load(file)
+		if err != nil {
+			return nil, err
+		}
+		if h != nil {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+func (d *DirHtaccessSource) load(file string) (*Htaccess, error) {
+	fi, err := os.Stat(file)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	stamp := fi.ModTime().String() + "-" + strconv.FormatInt(fi.Size(), 10)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.cache[file]; ok && c.stamp == stamp && c.h != nil {
+		return c.h, nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ParseHtaccessString(string(data))
+	if err != nil {
+		return nil, err
+	}
+	d.cache[file] = htaccessCacheEntry{h: h, stamp: stamp}
+	return h, nil
+}
+
+// BaselineGuard is Apache's native access control as a server guard:
+// the innermost (most specific) .htaccess decides; with none present
+// the guard declines and the server default applies. This models the
+// paper's translation target for MAYBE answers: "HTTP_DECLINED" hands
+// the decision back to the stock mechanism.
+type BaselineGuard struct {
+	source HtaccessSource
+	loader FileLoader
+}
+
+// NewBaselineGuard builds the guard; a nil loader uses os.ReadFile.
+func NewBaselineGuard(source HtaccessSource, loader FileLoader) *BaselineGuard {
+	if loader == nil {
+		loader = os.ReadFile
+	}
+	return &BaselineGuard{source: source, loader: loader}
+}
+
+// Check implements Guard. Divergence from Apache noted: Apache merges
+// directives along the directory chain; this substrate lets the most
+// specific file decide entirely, which is indistinguishable for the
+// paper's workloads (one file per protected subtree).
+func (b *BaselineGuard) Check(rec *RequestRec) Verdict {
+	chain, err := b.source.For(rec.Object())
+	if err != nil {
+		return Verdict{Status: Forbidden("htaccess error: " + err.Error())}
+	}
+	if len(chain) == 0 {
+		return Verdict{Status: Declined("no htaccess")}
+	}
+	h := chain[len(chain)-1]
+	return Verdict{Status: h.Evaluate(rec, b.loader)}
+}
+
+// objectDirs mirrors gaa.objectDirs: the directory chain for a path.
+func objectDirs(object string) []string {
+	object = strings.Trim(path.Clean("/"+object), "/")
+	dirs := []string{""}
+	if object == "" || object == "." {
+		return dirs
+	}
+	parts := strings.Split(object, "/")
+	for i := 1; i < len(parts); i++ {
+		dirs = append(dirs, strings.Join(parts[:i], "/"))
+	}
+	return dirs
+}
+
+func normalizeDir(dir string) string {
+	return strings.Trim(path.Clean("/"+dir), "/")
+}

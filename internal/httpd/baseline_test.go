@@ -1,0 +1,148 @@
+package httpd
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMapHtaccessSourceChain(t *testing.T) {
+	src := NewMapHtaccessSource()
+	if err := src.SetString("", "Order Deny,Allow\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetString("docs/private", "Require valid-user\n"); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := src.For("/docs/private/report.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 {
+		t.Fatalf("chain = %d, want 2", len(chain))
+	}
+	// Outer first, inner last.
+	if len(chain[1].Require) == 0 {
+		t.Error("innermost htaccess should be last")
+	}
+	if got, err := src.For("/other.html"); err != nil || len(got) != 1 {
+		t.Errorf("root-only chain = %v, %v", got, err)
+	}
+	if dirs := src.Dirs(); !reflect.DeepEqual(dirs, []string{"", "docs/private"}) {
+		t.Errorf("Dirs = %v", dirs)
+	}
+	if err := src.SetString("x", "Bogus directive\n"); err == nil {
+		t.Error("SetString with bad content should fail")
+	}
+}
+
+func TestBaselineGuardMostSpecificWins(t *testing.T) {
+	src := NewMapHtaccessSource()
+	// Root locks everything down; the public subtree reopens it.
+	if err := src.SetString("", "Require valid-user\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetString("public", "Order Deny,Allow\n"); err != nil {
+		t.Fatal(err)
+	}
+	g := NewBaselineGuard(src, nil)
+	if v := g.Check(rec("1.1.1.1", "")); v.Status.Kind != StatusAuthRequired {
+		t.Errorf("root doc = %v, want AuthRequired", v.Status.Kind)
+	}
+	pub := rec("1.1.1.1", "")
+	pub.Path = "/public/page.html"
+	if v := g.Check(pub); v.Status.Kind != StatusOK {
+		t.Errorf("public doc = %v, want OK (most specific wins)", v.Status.Kind)
+	}
+}
+
+func TestBaselineGuardDeclinesWithoutHtaccess(t *testing.T) {
+	g := NewBaselineGuard(NewMapHtaccessSource(), nil)
+	if v := g.Check(rec("1.1.1.1", "")); v.Status.Kind != StatusDeclined {
+		t.Errorf("no htaccess = %v, want Declined", v.Status.Kind)
+	}
+}
+
+func TestDirHtaccessSource(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(rel, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(root, rel), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(".htaccess", "Order Deny,Allow\n")
+	write("docs/.htaccess", "Require valid-user\n")
+
+	src := NewDirHtaccessSource(root, ".htaccess")
+	chain, err := src.For("/docs/file.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 {
+		t.Fatalf("chain = %d, want 2", len(chain))
+	}
+
+	// Cache serves the same parse for an unchanged file.
+	again, err := src.For("/docs/file.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[1] != again[1] {
+		t.Error("expected cached htaccess pointer")
+	}
+
+	// Changed file refreshes.
+	write("docs/.htaccess", "Order Deny,Allow\nDeny from All\n")
+	newTime := time.Now().Add(3 * time.Second)
+	if err := os.Chtimes(filepath.Join(root, "docs/.htaccess"), newTime, newTime); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := src.For("/docs/file.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshed[1] == chain[1] {
+		t.Error("stale htaccess after file change")
+	}
+
+	// Parse errors propagate.
+	write("docs/.htaccess", "NotADirective x\n")
+	newTime = newTime.Add(3 * time.Second)
+	if err := os.Chtimes(filepath.Join(root, "docs/.htaccess"), newTime, newTime); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.For("/docs/file.html"); err == nil {
+		t.Error("want parse error")
+	}
+	// And a guard surfaces them as Forbidden (fail closed).
+	g := NewBaselineGuard(src, nil)
+	r := rec("1.1.1.1", "")
+	r.Path = "/docs/file.html"
+	if v := g.Check(r); v.Status.Kind != StatusForbidden {
+		t.Errorf("guard with broken htaccess = %v, want Forbidden", v.Status.Kind)
+	}
+}
+
+func TestObjectDirsHTTPD(t *testing.T) {
+	tests := []struct {
+		object string
+		want   []string
+	}{
+		{"/", []string{""}},
+		{"/a/b/file", []string{"", "a", "a/b"}},
+	}
+	for _, tt := range tests {
+		if got := objectDirs(tt.object); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("objectDirs(%q) = %v, want %v", tt.object, got, tt.want)
+		}
+	}
+	if normalizeDir("/docs/") != "docs" || normalizeDir("") != "" {
+		t.Error("normalizeDir mismatch")
+	}
+}

@@ -1,0 +1,30 @@
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FormatCLF renders one NCSA Common Log Format line — the log format
+// Almgren et al.'s offline monitor (paper section 10, related work)
+// analyzes, kept here so the substrate's logs are comparable:
+//
+//	host ident authuser [date] "request" status bytes
+func FormatCLF(rec *RequestRec, status, bytes int) string {
+	user := rec.User
+	if user == "" {
+		user = "-"
+	}
+	size := "-"
+	if bytes > 0 {
+		size = strconv.Itoa(bytes)
+	}
+	return fmt.Sprintf("%s - %s [%s] %q %d %s",
+		rec.ClientIP,
+		user,
+		rec.Time.Format("02/Jan/2006:15:04:05 -0700"),
+		rec.URI,
+		status,
+		size,
+	)
+}

@@ -1,0 +1,83 @@
+package httpd
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path"
+	"strings"
+)
+
+// FileRoot resolves URL paths to static document content. The server
+// falls back to its in-memory DocRoot map when no FileRoot is
+// configured.
+type FileRoot interface {
+	// Open returns the content for the cleaned URL path, or ok=false
+	// when no document exists there.
+	Open(urlPath string) (content string, ok bool, err error)
+}
+
+// MapRoot adapts the in-memory path→content map. Paths ending in "/"
+// resolve to their index.html.
+type MapRoot map[string]string
+
+var _ FileRoot = MapRoot(nil)
+
+// Open implements FileRoot.
+func (m MapRoot) Open(urlPath string) (string, bool, error) {
+	p := cleanURLPath(urlPath)
+	if strings.HasSuffix(urlPath, "/") {
+		p = path.Join(p, "index.html")
+	}
+	content, ok := m[p]
+	if !ok && p == "/" {
+		content, ok = m["/index.html"]
+	}
+	return content, ok, nil
+}
+
+// OSRoot serves documents from a directory on disk, confined to that
+// directory (the URL path is cleaned before joining, so ".."
+// traversal cannot escape). Directory requests resolve to index.html.
+type OSRoot struct {
+	dir string
+}
+
+var _ FileRoot = (*OSRoot)(nil)
+
+// NewOSRoot returns a disk-backed root.
+func NewOSRoot(dir string) *OSRoot {
+	return &OSRoot{dir: dir}
+}
+
+// Open implements FileRoot.
+func (r *OSRoot) Open(urlPath string) (string, bool, error) {
+	rel := strings.TrimPrefix(cleanURLPath(urlPath), "/")
+	full := path.Join(r.dir, rel)
+	fi, err := os.Stat(full)
+	if errors.Is(err, fs.ErrNotExist) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	if fi.IsDir() {
+		full = path.Join(full, "index.html")
+		if _, err := os.Stat(full); errors.Is(err, fs.ErrNotExist) {
+			return "", false, nil
+		} else if err != nil {
+			return "", false, err
+		}
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		return "", false, err
+	}
+	return string(data), true, nil
+}
+
+// cleanURLPath normalizes a URL path, forcing it absolute and
+// eliminating "." / ".." segments.
+func cleanURLPath(p string) string {
+	return path.Clean("/" + p)
+}

@@ -1,0 +1,138 @@
+package httpd
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMapRoot(t *testing.T) {
+	m := MapRoot{
+		"/index.html":      "home",
+		"/docs/index.html": "docs home",
+		"/docs/a.html":     "a",
+	}
+	tests := []struct {
+		path   string
+		want   string
+		wantOK bool
+	}{
+		{"/index.html", "home", true},
+		{"/", "home", true},
+		{"/docs/", "docs home", true},
+		{"/docs/a.html", "a", true},
+		{"/missing", "", false},
+		{"/../index.html", "home", true}, // cleaned, cannot escape
+	}
+	for _, tt := range tests {
+		got, ok, err := m.Open(tt.path)
+		if err != nil || got != tt.want || ok != tt.wantOK {
+			t.Errorf("Open(%q) = %q, %v, %v; want %q, %v", tt.path, got, ok, err, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func mkdirAll(t *testing.T, path string) {
+	t.Helper()
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSRoot(t *testing.T) {
+	dir := t.TempDir()
+	mkdirAll(t, filepath.Join(dir, "docs"))
+	write := func(rel, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("index.html", "home")
+	write("docs/index.html", "docs home")
+	write("docs/a.html", "a")
+	// A file OUTSIDE the root that traversal must not reach.
+	outside := filepath.Join(filepath.Dir(dir), "secret.txt")
+	if err := os.WriteFile(outside, []byte("secret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(outside)
+
+	r := NewOSRoot(dir)
+	tests := []struct {
+		path   string
+		want   string
+		wantOK bool
+	}{
+		{"/index.html", "home", true},
+		{"/", "home", true},
+		{"/docs", "docs home", true}, // directory resolves to its index
+		{"/docs/a.html", "a", true},
+		{"/missing.html", "", false},
+		{"/../secret.txt", "", false}, // traversal confined
+		{"/docs/../../secret.txt", "", false},
+	}
+	for _, tt := range tests {
+		got, ok, err := r.Open(tt.path)
+		if err != nil {
+			t.Errorf("Open(%q) error: %v", tt.path, err)
+			continue
+		}
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("Open(%q) = %q, %v; want %q, %v", tt.path, got, ok, tt.want, tt.wantOK)
+		}
+	}
+	// Directory without an index: not found.
+	mkdirAll(t, filepath.Join(dir, "empty"))
+	if _, ok, err := r.Open("/empty"); ok || err != nil {
+		t.Errorf("dir without index = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestServerWithOSRoot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "page.html"), []byte("from disk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{Files: NewOSRoot(dir)})
+	w := doRequest(t, s, "GET", "/page.html", nil)
+	if w.Code != http.StatusOK || w.Body.String() != "from disk" {
+		t.Errorf("disk-backed serve = %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestHeadRequestOmitsBody(t *testing.T) {
+	s := testServer(t, nil)
+	w := doRequest(t, s, "HEAD", "/index.html", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("HEAD = %d", w.Code)
+	}
+	if w.Body.Len() != 0 {
+		t.Errorf("HEAD body = %q, want empty", w.Body.String())
+	}
+	// The access log still records the would-be byte count.
+	var log strings.Builder
+	s2 := testServer(t, func(c *Config) { c.AccessLog = &log })
+	doRequest(t, s2, "HEAD", "/index.html", nil)
+	if !strings.Contains(log.String(), `"HEAD /index.html" 200`) {
+		t.Errorf("log = %q", log.String())
+	}
+}
+
+func TestCleanURLPath(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"/a/b", "/a/b"},
+		{"a/b", "/a/b"},
+		{"/a/../b", "/b"},
+		{"/../../x", "/x"},
+		{"", "/"},
+		{"//a//b/", "/a/b"},
+	}
+	for _, tt := range tests {
+		if got := cleanURLPath(tt.in); got != tt.want {
+			t.Errorf("cleanURLPath(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseHtaccess checks the htaccess parser never panics and that
+// accepted configurations always evaluate without panicking for a
+// sample of clients.
+func FuzzParseHtaccess(f *testing.F) {
+	f.Add(paperHtaccess)
+	f.Add("Order Allow,Deny\nAllow from 10.0.0.0/8\nDeny from 10.0.0.66\n")
+	f.Add("Require group staff\nAuthGroupFile /etc/htgroup\nSatisfy Any\n")
+	f.Add("# empty\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := ParseHtaccessString(src)
+		if err != nil {
+			return
+		}
+		for _, ip := range []string{"10.0.0.66", "128.9.1.1", "not-an-ip", ""} {
+			for _, user := range []string{"", "alice"} {
+				got := h.Evaluate(&RequestRec{ClientIP: ip, User: user}, nil)
+				switch got.Kind {
+				case StatusOK, StatusForbidden, StatusAuthRequired:
+				default:
+					t.Fatalf("Evaluate returned %v for src %q", got.Kind, src)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseHtpasswd checks the credential parser never panics and that
+// authentication never succeeds for users absent from the input.
+func FuzzParseHtpasswd(f *testing.F) {
+	f.Add("alice:{PLAIN}pw\nbob:{SHA256}ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad\n", "mallory", "pw")
+	f.Add("x:y", "x", "y")
+	f.Fuzz(func(t *testing.T, src, user, pass string) {
+		h, err := ParseHtpasswd(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if h.Authenticate(user, pass) && !strings.Contains(src, user+":") {
+			t.Fatalf("authenticated unknown user %q against %q", user, src)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package httpd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/groups"
+)
+
+// Htaccess models the directives of the paper's section 4 sample:
+//
+//	Order Deny,Allow
+//	Deny from All
+//	Allow from 128.9
+//	AuthType Basic
+//	AuthName "ISI staff"
+//	AuthUserFile /usr/local/apache2/.htpasswd-isi-staff
+//	AuthGroupFile /usr/local/apache2/.htgroup
+//	Require valid-user
+//	Satisfy All
+//
+// Host patterns accept "All", IP prefixes ("128.9" matches
+// 128.9.x.y), '*' globs and CIDR ranges.
+//
+// Substrate simplification: user credentials are verified against the
+// server-wide credential store when the request record is built;
+// AuthUserFile is parsed (and loadable via Server.LoadHtpasswd) but a
+// per-directory password namespace is not maintained. Group membership
+// for "Require group" is read from AuthGroupFile through the
+// configured file loader.
+type Htaccess struct {
+	// Order is "deny,allow" (default) or "allow,deny".
+	Order string
+	Deny  []string
+	Allow []string
+
+	AuthType      string
+	AuthName      string
+	AuthUserFile  string
+	AuthGroupFile string
+
+	// Require is empty (no user requirement), ["valid-user"], or
+	// ("user", names...) / ("group", names...).
+	Require []string
+
+	// Satisfy is "all" (default) or "any".
+	Satisfy string
+}
+
+// ParseHtaccess reads the directive subset above; unknown directives
+// are an error so misconfigured policies fail loudly.
+func ParseHtaccess(r io.Reader) (*Htaccess, error) {
+	h := &Htaccess{Order: "deny,allow", Satisfy: "all"}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		directive := strings.ToLower(fields[0])
+		args := fields[1:]
+		switch directive {
+		case "order":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: Order wants one argument", line)
+			}
+			v := strings.ToLower(strings.ReplaceAll(args[0], " ", ""))
+			if v != "deny,allow" && v != "allow,deny" {
+				return nil, fmt.Errorf("line %d: bad Order %q", line, args[0])
+			}
+			h.Order = v
+		case "deny":
+			pats, err := fromList(args, line)
+			if err != nil {
+				return nil, err
+			}
+			h.Deny = append(h.Deny, pats...)
+		case "allow":
+			pats, err := fromList(args, line)
+			if err != nil {
+				return nil, err
+			}
+			h.Allow = append(h.Allow, pats...)
+		case "authtype":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: AuthType wants one argument", line)
+			}
+			h.AuthType = args[0]
+		case "authname":
+			h.AuthName = strings.Trim(strings.Join(args, " "), `"`)
+		case "authuserfile":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: AuthUserFile wants one argument", line)
+			}
+			h.AuthUserFile = args[0]
+		case "authgroupfile":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: AuthGroupFile wants one argument", line)
+			}
+			h.AuthGroupFile = args[0]
+		case "require":
+			if len(args) == 0 {
+				return nil, fmt.Errorf("line %d: Require wants arguments", line)
+			}
+			kind := strings.ToLower(args[0])
+			switch kind {
+			case "valid-user":
+				h.Require = []string{"valid-user"}
+			case "user", "group":
+				if len(args) < 2 {
+					return nil, fmt.Errorf("line %d: Require %s wants names", line, kind)
+				}
+				h.Require = append([]string{kind}, args[1:]...)
+			default:
+				return nil, fmt.Errorf("line %d: unknown Require kind %q", line, args[0])
+			}
+		case "satisfy":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: Satisfy wants one argument", line)
+			}
+			v := strings.ToLower(args[0])
+			if v != "all" && v != "any" {
+				return nil, fmt.Errorf("line %d: bad Satisfy %q", line, args[0])
+			}
+			h.Satisfy = v
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseHtaccessString is ParseHtaccess over a string.
+func ParseHtaccessString(s string) (*Htaccess, error) {
+	return ParseHtaccess(strings.NewReader(s))
+}
+
+// fromList parses "from a b c" argument lists.
+func fromList(args []string, line int) ([]string, error) {
+	if len(args) < 2 || !strings.EqualFold(args[0], "from") {
+		return nil, fmt.Errorf("line %d: want \"from <hosts...>\"", line)
+	}
+	return args[1:], nil
+}
+
+// FileLoader reads referenced side files (AuthGroupFile). The default
+// is os.ReadFile; tests substitute a map.
+type FileLoader func(path string) ([]byte, error)
+
+// Evaluate applies the htaccess rules to the request: the host-based
+// constraint (Order/Deny/Allow) and the user constraint (Require),
+// combined per Satisfy. loader resolves AuthGroupFile when a group
+// requirement exists; a nil loader fails group requirements closed.
+func (h *Htaccess) Evaluate(rec *RequestRec, loader FileLoader) AccessStatus {
+	hostOK := h.hostAllowed(rec.ClientIP)
+	needUser := len(h.Require) > 0
+	userOK := false
+	if needUser {
+		userOK = h.userSatisfied(rec, loader)
+	}
+	challenge := fmt.Sprintf("Basic realm=%q", h.realm())
+
+	if !needUser {
+		if hostOK {
+			return OK("host allowed")
+		}
+		return Forbidden("host denied by htaccess")
+	}
+	if h.Satisfy == "any" {
+		// Either constraint suffices (paper section 5: "Satisfy Any
+		// means that the request will be granted if either of the two
+		// constraints is met").
+		if hostOK {
+			return OK("host allowed (Satisfy Any)")
+		}
+		if userOK {
+			return OK("user authorized (Satisfy Any)")
+		}
+		return AuthRequired(challenge, "neither host nor user constraint met")
+	}
+	// Satisfy All: both must hold.
+	if !hostOK {
+		return Forbidden("host denied by htaccess")
+	}
+	if !userOK {
+		return AuthRequired(challenge, "user authentication required")
+	}
+	return OK("host and user constraints met")
+}
+
+func (h *Htaccess) realm() string {
+	if h.AuthName != "" {
+		return h.AuthName
+	}
+	return "restricted"
+}
+
+// hostAllowed applies Order/Deny/Allow with Apache's semantics:
+// Deny,Allow evaluates Deny first, Allow overrides, default allow;
+// Allow,Deny evaluates Allow first, Deny overrides, default deny.
+func (h *Htaccess) hostAllowed(ip string) bool {
+	denied := matchHostList(h.Deny, ip)
+	allowed := matchHostList(h.Allow, ip)
+	if h.Order == "allow,deny" {
+		return allowed && !denied
+	}
+	// deny,allow
+	if denied && !allowed {
+		return false
+	}
+	return true
+}
+
+// userSatisfied checks the Require directive against the
+// already-authenticated user.
+func (h *Htaccess) userSatisfied(rec *RequestRec, loader FileLoader) bool {
+	if rec.User == "" {
+		return false
+	}
+	switch h.Require[0] {
+	case "valid-user":
+		return true
+	case "user":
+		for _, u := range h.Require[1:] {
+			if u == rec.User {
+				return true
+			}
+		}
+		return false
+	case "group":
+		if h.AuthGroupFile == "" || loader == nil {
+			return false
+		}
+		data, err := loader(h.AuthGroupFile)
+		if err != nil {
+			return false
+		}
+		gs := groups.NewStore()
+		if err := gs.Load(strings.NewReader(string(data))); err != nil {
+			return false
+		}
+		for _, g := range h.Require[1:] {
+			if gs.Contains(g, rec.User) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// matchHostList reports whether ip matches any pattern: "All", CIDR,
+// '*' glob or prefix ("128.9" matches "128.9.x.y").
+func matchHostList(patterns []string, ip string) bool {
+	parsed := net.ParseIP(ip)
+	for _, p := range patterns {
+		switch {
+		case strings.EqualFold(p, "all"):
+			return true
+		case strings.Contains(p, "/"):
+			if _, ipnet, err := net.ParseCIDR(p); err == nil && parsed != nil && ipnet.Contains(parsed) {
+				return true
+			}
+		case strings.Contains(p, "*"):
+			if eacl.Glob(p, ip) {
+				return true
+			}
+		default:
+			if ip == p || strings.HasPrefix(ip, strings.TrimSuffix(p, ".")+".") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestHtaccessFullMatrix sweeps Order × Satisfy × host-position ×
+// user-state against a reference model of the documented semantics, so
+// any drift in the evaluator shows up as a specific cell.
+func TestHtaccessFullMatrix(t *testing.T) {
+	type client struct {
+		name   string
+		ip     string
+		user   string
+		inside bool // within the Allow'd network
+	}
+	clients := []client{
+		{"inside-anon", "10.0.0.5", "", true},
+		{"inside-auth", "10.0.0.5", "alice", true},
+		{"outside-anon", "99.9.9.9", "", false},
+		{"outside-auth", "99.9.9.9", "alice", false},
+	}
+
+	for _, order := range []string{"Deny,Allow", "Allow,Deny"} {
+		for _, satisfy := range []string{"All", "Any"} {
+			for _, requireUser := range []bool{false, true} {
+				src := fmt.Sprintf("Order %s\n", order)
+				if order == "Deny,Allow" {
+					src += "Deny from All\nAllow from 10.0.0\n"
+				} else {
+					src += "Allow from 10.0.0\nDeny from All\n"
+				}
+				if requireUser {
+					src += "Require valid-user\n"
+				}
+				src += "Satisfy " + satisfy + "\n"
+
+				h, err := ParseHtaccessString(src)
+				if err != nil {
+					t.Fatalf("parse %q: %v", src, err)
+				}
+				for _, c := range clients {
+					name := fmt.Sprintf("%s/%s/require=%v/%s", order, satisfy, requireUser, c.name)
+					t.Run(name, func(t *testing.T) {
+						got := h.Evaluate(rec(c.ip, c.user), nil)
+						want := referenceHtaccess(order, satisfy, requireUser, c.inside, c.user != "")
+						if got.Kind != want {
+							t.Errorf("got %v (%s), want %v", got.Kind, got.Reason, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// referenceHtaccess is an independent statement of the documented
+// semantics (Apache host logic + Satisfy combination).
+func referenceHtaccess(order, satisfy string, requireUser, hostInside, authed bool) StatusKind {
+	// Host verdict.
+	var hostOK bool
+	if order == "Deny,Allow" {
+		// Deny All, Allow 10.0.0: denied unless allowed.
+		hostOK = hostInside
+	} else {
+		// Allow 10.0.0, Deny All: deny overrides allow; default deny.
+		hostOK = false
+	}
+	if !requireUser {
+		if hostOK {
+			return StatusOK
+		}
+		return StatusForbidden
+	}
+	userOK := authed
+	if satisfy == "Any" {
+		if hostOK || userOK {
+			return StatusOK
+		}
+		return StatusAuthRequired
+	}
+	// Satisfy All.
+	if !hostOK {
+		return StatusForbidden
+	}
+	if !userOK {
+		return StatusAuthRequired
+	}
+	return StatusOK
+}
+
+// TestHtaccessMultipleAllowPatterns checks list handling.
+func TestHtaccessMultipleAllowPatterns(t *testing.T) {
+	h, err := ParseHtaccessString(`
+Order Deny,Allow
+Deny from All
+Allow from 10.1 192.168.5.0/24 203.0.113.9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ip, want := range map[string]StatusKind{
+		"10.1.2.3":    StatusOK,
+		"192.168.5.7": StatusOK,
+		"203.0.113.9": StatusOK,
+		"10.2.0.1":    StatusForbidden,
+		"192.168.6.1": StatusForbidden,
+	} {
+		if got := h.Evaluate(rec(ip, ""), nil); got.Kind != want {
+			t.Errorf("ip %s = %v, want %v", ip, got.Kind, want)
+		}
+	}
+}
+
+// TestHtaccessAccumulatesDirectives: repeated Allow/Deny lines append.
+func TestHtaccessAccumulatesDirectives(t *testing.T) {
+	h, err := ParseHtaccessString(strings.Join([]string{
+		"Order Deny,Allow",
+		"Deny from All",
+		"Allow from 10.1",
+		"Allow from 10.2",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Allow) != 2 {
+		t.Fatalf("allow list = %v", h.Allow)
+	}
+	if got := h.Evaluate(rec("10.2.9.9", ""), nil); got.Kind != StatusOK {
+		t.Errorf("second Allow line ignored: %v", got.Kind)
+	}
+}

@@ -1,0 +1,248 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// paperHtaccess is the sample .htaccess of paper section 4.
+const paperHtaccess = `
+Order Deny,Allow
+Deny from All
+Allow from 128.9
+AuthType Basic
+AuthName "ISI staff"
+AuthUserFile /usr/local/apache2/.htpasswd-isi-staff
+Require valid-user
+Satisfy All
+`
+
+func rec(ip, user string) *RequestRec {
+	return &RequestRec{
+		Time:     time.Date(2003, 5, 19, 12, 0, 0, 0, time.UTC),
+		Method:   "GET",
+		Path:     "/index.html",
+		URI:      "GET /index.html",
+		ClientIP: ip,
+		User:     user,
+	}
+}
+
+func TestParsePaperHtaccess(t *testing.T) {
+	h, err := ParseHtaccessString(paperHtaccess)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if h.Order != "deny,allow" || len(h.Deny) != 1 || len(h.Allow) != 1 {
+		t.Errorf("host directives = %+v", h)
+	}
+	if h.AuthName != "ISI staff" || h.AuthUserFile != "/usr/local/apache2/.htpasswd-isi-staff" {
+		t.Errorf("auth directives = %+v", h)
+	}
+	if len(h.Require) != 1 || h.Require[0] != "valid-user" {
+		t.Errorf("require = %v", h.Require)
+	}
+	if h.Satisfy != "all" {
+		t.Errorf("satisfy = %q", h.Satisfy)
+	}
+}
+
+func TestPaperHtaccessSemantics(t *testing.T) {
+	h, err := ParseHtaccessString(paperHtaccess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		rec  *RequestRec
+		want StatusKind
+	}{
+		{"inside network, authenticated", rec("128.9.1.2", "alice"), StatusOK},
+		{"inside network, anonymous", rec("128.9.1.2", ""), StatusAuthRequired},
+		{"outside network", rec("66.66.66.66", "alice"), StatusForbidden},
+		{"outside network, anonymous", rec("66.66.66.66", ""), StatusForbidden},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := h.Evaluate(tt.rec, nil)
+			if got.Kind != tt.want {
+				t.Errorf("Evaluate = %v (%s), want %v", got.Kind, got.Reason, tt.want)
+			}
+		})
+	}
+}
+
+func TestSatisfyAny(t *testing.T) {
+	h, err := ParseHtaccessString(`
+Order Deny,Allow
+Deny from All
+Allow from 10.0.0
+Require valid-user
+Satisfy Any
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either host or user constraint suffices.
+	if got := h.Evaluate(rec("10.0.0.5", ""), nil); got.Kind != StatusOK {
+		t.Errorf("inside network anonymous = %v, want OK", got.Kind)
+	}
+	if got := h.Evaluate(rec("99.9.9.9", "alice"), nil); got.Kind != StatusOK {
+		t.Errorf("outside network authenticated = %v, want OK", got.Kind)
+	}
+	if got := h.Evaluate(rec("99.9.9.9", ""), nil); got.Kind != StatusAuthRequired {
+		t.Errorf("outside anonymous = %v, want AuthRequired", got.Kind)
+	}
+}
+
+func TestOrderAllowDeny(t *testing.T) {
+	h, err := ParseHtaccessString(`
+Order Allow,Deny
+Allow from 10.0.0
+Deny from 10.0.0.66
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Evaluate(rec("10.0.0.5", ""), nil); got.Kind != StatusOK {
+		t.Errorf("allowed host = %v", got.Kind)
+	}
+	if got := h.Evaluate(rec("10.0.0.66", ""), nil); got.Kind != StatusForbidden {
+		t.Errorf("deny override = %v", got.Kind)
+	}
+	// Default deny under Allow,Deny.
+	if got := h.Evaluate(rec("99.0.0.1", ""), nil); got.Kind != StatusForbidden {
+		t.Errorf("unlisted host = %v, want Forbidden", got.Kind)
+	}
+}
+
+func TestRequireUserList(t *testing.T) {
+	h, err := ParseHtaccessString("Require user alice bob\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Evaluate(rec("1.1.1.1", "bob"), nil); got.Kind != StatusOK {
+		t.Errorf("listed user = %v", got.Kind)
+	}
+	if got := h.Evaluate(rec("1.1.1.1", "mallory"), nil); got.Kind != StatusAuthRequired {
+		t.Errorf("unlisted user = %v", got.Kind)
+	}
+}
+
+func TestRequireGroup(t *testing.T) {
+	h, err := ParseHtaccessString(`
+AuthGroupFile /etc/htgroup
+Require group staff
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := func(path string) ([]byte, error) {
+		if path == "/etc/htgroup" {
+			return []byte("staff: alice carol\n"), nil
+		}
+		return nil, fmt.Errorf("no such file %q", path)
+	}
+	if got := h.Evaluate(rec("1.1.1.1", "carol"), loader); got.Kind != StatusOK {
+		t.Errorf("group member = %v", got.Kind)
+	}
+	if got := h.Evaluate(rec("1.1.1.1", "bob"), loader); got.Kind != StatusAuthRequired {
+		t.Errorf("non-member = %v", got.Kind)
+	}
+	// Missing loader fails closed.
+	if got := h.Evaluate(rec("1.1.1.1", "carol"), nil); got.Kind != StatusAuthRequired {
+		t.Errorf("nil loader = %v, want AuthRequired", got.Kind)
+	}
+	// Loader error fails closed.
+	broken := func(string) ([]byte, error) { return nil, fmt.Errorf("io error") }
+	if got := h.Evaluate(rec("1.1.1.1", "carol"), broken); got.Kind != StatusAuthRequired {
+		t.Errorf("broken loader = %v, want AuthRequired", got.Kind)
+	}
+}
+
+func TestHostPatternForms(t *testing.T) {
+	tests := []struct {
+		pattern string
+		ip      string
+		want    bool
+	}{
+		{"All", "1.2.3.4", true},
+		{"all", "1.2.3.4", true},
+		{"10.0.0.0/8", "10.200.1.1", true},
+		{"10.0.0.0/8", "11.0.0.1", false},
+		{"128.9", "128.9.4.5", true},
+		{"128.9", "128.90.4.5", false}, // prefix must end at a dot
+		{"128.9.", "128.9.4.5", true},
+		{"10.*.3.*", "10.22.3.99", true},
+		{"10.*.3.*", "10.22.4.99", false},
+		{"1.2.3.4", "1.2.3.4", true},
+		{"1.2.3.4", "1.2.3.40", false},
+	}
+	for _, tt := range tests {
+		if got := matchHostList([]string{tt.pattern}, tt.ip); got != tt.want {
+			t.Errorf("matchHostList(%q, %q) = %v, want %v", tt.pattern, tt.ip, got, tt.want)
+		}
+	}
+}
+
+func TestParseHtaccessErrors(t *testing.T) {
+	bad := []string{
+		"Order sideways",
+		"Order",
+		"Deny 10.0.0.1",             // missing "from"
+		"Allow to all",              // wrong preposition
+		"Require",                   // no arguments
+		"Require planet earth mars", // unknown kind
+		"Satisfy maybe",
+		"Satisfy",
+		"AuthType",
+		"AuthUserFile",
+		"AuthGroupFile a b",
+		"FancyDirective on",
+		"Require user",  // user kind without names
+		"Require group", // group kind without names
+	}
+	for _, src := range bad {
+		if _, err := ParseHtaccessString(src); err == nil {
+			t.Errorf("ParseHtaccessString(%q): want error", src)
+		}
+	}
+}
+
+func TestParseHtaccessCommentsAndCase(t *testing.T) {
+	h, err := ParseHtaccessString(`
+# locked down
+ORDER Deny,Allow
+deny from ALL
+allow FROM 10.1
+SATISFY any
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if h.Satisfy != "any" || len(h.Deny) != 1 {
+		t.Errorf("parsed = %+v", h)
+	}
+}
+
+func TestDefaultsWithNoDirectives(t *testing.T) {
+	h, err := ParseHtaccessString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Deny/Allow/Require: everything is allowed (deny,allow default
+	// allows when nothing matches).
+	if got := h.Evaluate(rec("8.8.8.8", ""), nil); got.Kind != StatusOK {
+		t.Errorf("empty htaccess = %v, want OK", got.Kind)
+	}
+}
+
+func TestRealmDefault(t *testing.T) {
+	h, _ := ParseHtaccessString("Require valid-user\n")
+	got := h.Evaluate(rec("1.1.1.1", ""), nil)
+	if got.Kind != StatusAuthRequired || !strings.Contains(got.Challenge, "restricted") {
+		t.Errorf("challenge = %q", got.Challenge)
+	}
+}

@@ -1,0 +1,101 @@
+package httpd
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Htpasswd is a user/password table in Apache htpasswd spirit:
+//
+//	alice:{SHA256}2bd806c9...
+//	bob:{PLAIN}bobpass
+//	carol:carolpass          (bare values are treated as plain text)
+//
+// Apache's original crypt(3)/MD5 schemes are out of scope (DESIGN.md
+// section 5): the mechanism under test is policy evaluation, not
+// password storage.
+type Htpasswd struct {
+	mu    sync.RWMutex
+	users map[string]string // user -> scheme-prefixed hash
+}
+
+// NewHtpasswd returns an empty table.
+func NewHtpasswd() *Htpasswd {
+	return &Htpasswd{users: make(map[string]string)}
+}
+
+// ParseHtpasswd reads "user:hash" lines ('#' comments allowed).
+func ParseHtpasswd(r io.Reader) (*Htpasswd, error) {
+	h := NewHtpasswd()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		user, hash, ok := strings.Cut(text, ":")
+		if !ok || user == "" {
+			return nil, fmt.Errorf("htpasswd line %d: want user:hash", line)
+		}
+		h.Set(user, hash)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Set stores a scheme-prefixed hash for user.
+func (h *Htpasswd) Set(user, hash string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.users[user] = hash
+}
+
+// SetPassword stores password for user, hashed with SHA-256.
+func (h *Htpasswd) SetPassword(user, password string) {
+	h.Set(user, "{SHA256}"+sha256Hex(password))
+}
+
+// Authenticate implements Authenticator.
+func (h *Htpasswd) Authenticate(user, password string) bool {
+	h.mu.RLock()
+	stored, ok := h.users[user]
+	h.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(stored, "{SHA256}"):
+		want := strings.TrimPrefix(stored, "{SHA256}")
+		return constEq(sha256Hex(password), strings.ToLower(want))
+	case strings.HasPrefix(stored, "{PLAIN}"):
+		return constEq(password, strings.TrimPrefix(stored, "{PLAIN}"))
+	default:
+		return constEq(password, stored)
+	}
+}
+
+// Len returns the number of users.
+func (h *Htpasswd) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.users)
+}
+
+func sha256Hex(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func constEq(a, b string) bool {
+	return subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1
+}

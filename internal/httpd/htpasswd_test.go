@@ -1,0 +1,57 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHtpasswdSchemes(t *testing.T) {
+	h, err := ParseHtpasswd(strings.NewReader(`
+# staff credentials
+alice:{SHA256}ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad
+bob:{PLAIN}bobpass
+carol:carolpass
+`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// alice's hash is sha256("abc") — wrong password shouldn't pass.
+	if h.Authenticate("alice", "wrong") {
+		t.Error("wrong SHA256 password accepted")
+	}
+	if !h.Authenticate("alice", "abc") {
+		t.Error("correct SHA256 password rejected")
+	}
+	if !h.Authenticate("bob", "bobpass") || h.Authenticate("bob", "nope") {
+		t.Error("PLAIN scheme broken")
+	}
+	if !h.Authenticate("carol", "carolpass") || h.Authenticate("carol", "x") {
+		t.Error("bare scheme broken")
+	}
+	if h.Authenticate("mallory", "anything") {
+		t.Error("unknown user accepted")
+	}
+	if h.Len() != 3 {
+		t.Errorf("Len = %d, want 3", h.Len())
+	}
+}
+
+func TestHtpasswdSetPassword(t *testing.T) {
+	h := NewHtpasswd()
+	h.SetPassword("dave", "secret")
+	if !h.Authenticate("dave", "secret") {
+		t.Error("SetPassword round trip failed")
+	}
+	if h.Authenticate("dave", "Secret") {
+		t.Error("case-modified password accepted")
+	}
+}
+
+func TestHtpasswdParseErrors(t *testing.T) {
+	if _, err := ParseHtpasswd(strings.NewReader("not-a-pair\n")); err == nil {
+		t.Error("want error for line without colon")
+	}
+	if _, err := ParseHtpasswd(strings.NewReader(":orphanhash\n")); err == nil {
+		t.Error("want error for empty user")
+	}
+}

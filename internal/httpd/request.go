@@ -1,0 +1,116 @@
+package httpd
+
+import (
+	"encoding/base64"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RequestRec is the server's per-request record, the analog of
+// Apache's request_rec: everything guards and loggers need, extracted
+// once (paper section 6 step 2b: "the context information ... is
+// extracted from the request_rec structure").
+type RequestRec struct {
+	Time     time.Time
+	Method   string
+	Path     string // URL path component
+	Query    string // raw query string
+	URI      string // method + original request URI, the signature subject
+	ClientIP string
+	// User is the authenticated user, empty when anonymous.
+	User string
+	// AuthAttempted reports whether credentials were presented (even
+	// invalid ones).
+	AuthAttempted bool
+	// AuthFailed reports presented-but-invalid credentials.
+	AuthFailed bool
+
+	HeaderCount int
+	// InputLength models the input handed to the requested operation:
+	// query string plus request body length (the paper's CGI
+	// buffer-overflow detector measures it).
+	InputLength int
+}
+
+// Authenticator verifies user credentials (htpasswd-backed in this
+// substrate).
+type Authenticator interface {
+	Authenticate(user, password string) bool
+}
+
+// NewRequestRec builds the record from an incoming request,
+// authenticating Basic credentials against auth (nil auth rejects all
+// credentials).
+func NewRequestRec(r *http.Request, auth Authenticator, now time.Time) *RequestRec {
+	rec := &RequestRec{
+		Time:        now,
+		Method:      r.Method,
+		Path:        r.URL.Path,
+		Query:       r.URL.RawQuery,
+		URI:         r.Method + " " + r.RequestURI,
+		ClientIP:    clientIP(r.RemoteAddr),
+		HeaderCount: len(r.Header),
+		InputLength: len(r.URL.RawQuery) + int(max64(r.ContentLength, 0)),
+	}
+	if r.RequestURI == "" {
+		// Outside a real server loop (tests building requests by hand)
+		// RequestURI is unset; reconstruct it.
+		rec.URI = r.Method + " " + r.URL.RequestURI()
+	}
+	if user, pass, ok := basicAuth(r); ok {
+		rec.AuthAttempted = true
+		if auth != nil && auth.Authenticate(user, pass) {
+			rec.User = user
+		} else {
+			rec.AuthFailed = true
+		}
+	}
+	return rec
+}
+
+// Object returns the protected object the request addresses: the URL
+// path, which maps onto the policy directory tree.
+func (r *RequestRec) Object() string {
+	return r.Path
+}
+
+// basicAuth decodes an Authorization: Basic header. We parse manually
+// rather than via (*http.Request).BasicAuth to keep the substrate's
+// behaviour explicit for malformed headers (they count as an attempt).
+func basicAuth(r *http.Request) (user, pass string, ok bool) {
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		return "", "", false
+	}
+	const prefix = "Basic "
+	if !strings.HasPrefix(h, prefix) {
+		return "", "", false
+	}
+	raw, err := base64.StdEncoding.DecodeString(h[len(prefix):])
+	if err != nil {
+		return "", "", true // malformed credentials: an attempt that fails
+	}
+	user, pass, found := strings.Cut(string(raw), ":")
+	if !found {
+		return "", "", true
+	}
+	return user, pass, true
+}
+
+// clientIP strips the port from a RemoteAddr.
+func clientIP(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

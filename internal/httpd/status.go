@@ -1,0 +1,88 @@
+// Package httpd is the web-server substrate standing in for the
+// paper's Apache 2.x: an HTTP server with the same request phases
+// (access control, operation execution, post-execution logging),
+// Apache-style .htaccess / htpasswd / htgroup native access control,
+// a CGI-script simulator with resource accounting, and the status
+// vocabulary the paper's GAA integration translates into (HTTP_OK,
+// HTTP_DECLINED, HTTP_AUTHREQUIRED, HTTP_FORBIDDEN, HTTP_MOVED).
+package httpd
+
+import "fmt"
+
+// StatusKind is the access-control phase outcome of one guard.
+type StatusKind int
+
+const (
+	// StatusOK grants the request (the paper's HTTP_OK translation of
+	// a YES authorization).
+	StatusOK StatusKind = iota + 1
+	// StatusDeclined means the guard takes no position; the next guard
+	// (ultimately the server default) decides. The paper's MAYBE
+	// answers translate here so Apache's native access control runs.
+	StatusDeclined
+	// StatusForbidden rejects the request with 403.
+	StatusForbidden
+	// StatusAuthRequired rejects with 401 and a WWW-Authenticate
+	// challenge; the requester may retry with credentials.
+	StatusAuthRequired
+	// StatusMoved redirects the client (the paper's adaptive
+	// redirection policies, HTTP_MOVED).
+	StatusMoved
+)
+
+// String returns the Apache-flavoured name.
+func (k StatusKind) String() string {
+	switch k {
+	case StatusOK:
+		return "HTTP_OK"
+	case StatusDeclined:
+		return "HTTP_DECLINED"
+	case StatusForbidden:
+		return "HTTP_FORBIDDEN"
+	case StatusAuthRequired:
+		return "HTTP_AUTHREQUIRED"
+	case StatusMoved:
+		return "HTTP_MOVED"
+	default:
+		return fmt.Sprintf("StatusKind(%d)", int(k))
+	}
+}
+
+// AccessStatus is a guard's access-control answer.
+type AccessStatus struct {
+	Kind StatusKind
+	// Challenge is the WWW-Authenticate value for StatusAuthRequired.
+	Challenge string
+	// Location is the redirect target for StatusMoved.
+	Location string
+	// Reason is a human-readable explanation for logs.
+	Reason string
+}
+
+// OK is the grant status.
+func OK(reason string) AccessStatus {
+	return AccessStatus{Kind: StatusOK, Reason: reason}
+}
+
+// Declined is the no-position status.
+func Declined(reason string) AccessStatus {
+	return AccessStatus{Kind: StatusDeclined, Reason: reason}
+}
+
+// Forbidden is the 403 status.
+func Forbidden(reason string) AccessStatus {
+	return AccessStatus{Kind: StatusForbidden, Reason: reason}
+}
+
+// AuthRequired is the 401 status with a challenge.
+func AuthRequired(challenge, reason string) AccessStatus {
+	if challenge == "" {
+		challenge = `Basic realm="restricted"`
+	}
+	return AccessStatus{Kind: StatusAuthRequired, Challenge: challenge, Reason: reason}
+}
+
+// Moved is the 302 status.
+func Moved(location, reason string) AccessStatus {
+	return AccessStatus{Kind: StatusMoved, Location: location, Reason: reason}
+}

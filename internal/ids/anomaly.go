@@ -1,0 +1,145 @@
+package ids
+
+import (
+	"math"
+	"sync"
+)
+
+// AnomalyConfig tunes the anomaly detector.
+type AnomalyConfig struct {
+	// MinTraining is the number of observations a profile needs before
+	// it scores requests; untrained profiles return score 0.
+	MinTraining int
+	// NewPathWeight is the score contribution of a never-seen path.
+	NewPathWeight float64
+	// LengthZMax caps the z-score contribution of the input length.
+	LengthZMax float64
+	// Threshold is the score at or above which a request is unusual.
+	Threshold float64
+}
+
+// DefaultAnomalyConfig returns the tuning used by the experiments.
+func DefaultAnomalyConfig() AnomalyConfig {
+	return AnomalyConfig{
+		MinTraining:   20,
+		NewPathWeight: 1.0,
+		LengthZMax:    4.0,
+		Threshold:     3.0,
+	}
+}
+
+// profile accumulates per-principal behaviour: the set of paths the
+// principal accesses and running moments of the request input length
+// (Welford's algorithm).
+type profile struct {
+	n       int
+	paths   map[string]int
+	meanLen float64
+	m2Len   float64
+}
+
+func (p *profile) observe(path string, inputLen int) {
+	p.n++
+	p.paths[path]++
+	x := float64(inputLen)
+	delta := x - p.meanLen
+	p.meanLen += delta / float64(p.n)
+	p.m2Len += delta * (x - p.meanLen)
+}
+
+func (p *profile) stddevLen() float64 {
+	if p.n < 2 {
+		return 0
+	}
+	return math.Sqrt(p.m2Len / float64(p.n-1))
+}
+
+// Detector implements the paper's section 9 future work: "a simple
+// profile building module and anomaly detector ... to support
+// anomaly-based intrusion detection in addition to the signature-
+// based". Profiles are keyed by principal (user identity or client
+// address). It is safe for concurrent use.
+type Detector struct {
+	cfg      AnomalyConfig
+	mu       sync.RWMutex
+	profiles map[string]*profile
+}
+
+// NewDetector returns an empty detector.
+func NewDetector(cfg AnomalyConfig) *Detector {
+	if cfg.MinTraining <= 0 {
+		cfg.MinTraining = DefaultAnomalyConfig().MinTraining
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultAnomalyConfig().Threshold
+	}
+	if cfg.NewPathWeight <= 0 {
+		cfg.NewPathWeight = DefaultAnomalyConfig().NewPathWeight
+	}
+	if cfg.LengthZMax <= 0 {
+		cfg.LengthZMax = DefaultAnomalyConfig().LengthZMax
+	}
+	return &Detector{cfg: cfg, profiles: make(map[string]*profile)}
+}
+
+// Train records one legitimate observation for principal. The paper's
+// item 7 (legitimate access request patterns) feeds this: "This
+// information can be used to derive profiles that describe typical
+// behavior of users".
+func (d *Detector) Train(principal, path string, inputLen int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.profiles[principal]
+	if !ok {
+		p = &profile{paths: make(map[string]int)}
+		d.profiles[principal] = p
+	}
+	p.observe(path, inputLen)
+}
+
+// Score rates how anomalous the observation is for principal: 0 is
+// normal; contributions come from never-seen paths and input lengths
+// far from the trained mean. An untrained or unknown principal scores 0
+// (no basis for suspicion — the signature engine covers that case).
+func (d *Detector) Score(principal, path string, inputLen int) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.profiles[principal]
+	if !ok || p.n < d.cfg.MinTraining {
+		return 0
+	}
+	score := 0.0
+	if p.paths[path] == 0 {
+		score += d.cfg.NewPathWeight
+	}
+	sd := p.stddevLen()
+	if sd > 0 {
+		z := math.Abs(float64(inputLen)-p.meanLen) / sd
+		score += math.Min(z, d.cfg.LengthZMax)
+	} else if float64(inputLen) != p.meanLen {
+		// Constant training lengths: any deviation is fully surprising.
+		score += d.cfg.LengthZMax
+	}
+	return score
+}
+
+// Unusual reports whether the observation scores at or above the
+// configured threshold.
+func (d *Detector) Unusual(principal, path string, inputLen int) bool {
+	return d.Score(principal, path, inputLen) >= d.cfg.Threshold
+}
+
+// Trained returns the number of observations recorded for principal.
+func (d *Detector) Trained(principal string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if p, ok := d.profiles[principal]; ok {
+		return p.n
+	}
+	return 0
+}
+
+// Threshold exposes the configured anomaly threshold.
+func (d *Detector) Threshold() float64 {
+	return d.cfg.Threshold
+}

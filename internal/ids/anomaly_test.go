@@ -1,0 +1,167 @@
+package ids
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func trainedDetector(t *testing.T) *Detector {
+	t.Helper()
+	d := NewDetector(DefaultAnomalyConfig())
+	// Typical behaviour: alice browses three pages with query lengths
+	// around 20±4.
+	paths := []string{"/index.html", "/docs/a.html", "/docs/b.html"}
+	lengths := []int{16, 18, 20, 22, 24}
+	for i := 0; i < 30; i++ {
+		d.Train("alice", paths[i%len(paths)], lengths[i%len(lengths)])
+	}
+	return d
+}
+
+func TestAnomalyUntrainedScoresZero(t *testing.T) {
+	d := NewDetector(DefaultAnomalyConfig())
+	if s := d.Score("nobody", "/x", 10000); s != 0 {
+		t.Errorf("untrained score = %v, want 0", s)
+	}
+	d.Train("bob", "/a", 10)
+	if s := d.Score("bob", "/weird", 9999); s != 0 {
+		t.Errorf("under-trained score = %v, want 0 (below MinTraining)", s)
+	}
+}
+
+func TestAnomalyNormalTrafficScoresLow(t *testing.T) {
+	d := trainedDetector(t)
+	if s := d.Score("alice", "/index.html", 20); s >= d.Threshold() {
+		t.Errorf("normal request score = %v, want < threshold %v", s, d.Threshold())
+	}
+	if d.Unusual("alice", "/docs/a.html", 18) {
+		t.Error("typical request flagged unusual")
+	}
+}
+
+func TestAnomalyNewPathAndHugeInputFlagged(t *testing.T) {
+	d := trainedDetector(t)
+	// A buffer-overflow style request: never-seen path, enormous input.
+	s := d.Score("alice", "/cgi-bin/phf", 1500)
+	if s < d.Threshold() {
+		t.Errorf("attack-like request score = %v, want >= %v", s, d.Threshold())
+	}
+	if !d.Unusual("alice", "/cgi-bin/phf", 1500) {
+		t.Error("attack-like request not flagged unusual")
+	}
+}
+
+func TestAnomalyNewPathAloneBelowThreshold(t *testing.T) {
+	d := trainedDetector(t)
+	// Visiting one new page with a typical input length is mildly
+	// surprising but not an alarm.
+	if d.Unusual("alice", "/docs/new.html", 20) {
+		t.Error("single new path with normal length should not alarm")
+	}
+}
+
+func TestAnomalyConstantLengthProfile(t *testing.T) {
+	d := NewDetector(DefaultAnomalyConfig())
+	for i := 0; i < 25; i++ {
+		d.Train("bot", "/status", 0)
+	}
+	if s := d.Score("bot", "/status", 0); s != 0 {
+		t.Errorf("identical observation score = %v, want 0", s)
+	}
+	if !d.Unusual("bot", "/status", 500) {
+		t.Error("deviation from constant profile should alarm")
+	}
+}
+
+func TestAnomalyTrainedCount(t *testing.T) {
+	d := NewDetector(DefaultAnomalyConfig())
+	for i := 0; i < 7; i++ {
+		d.Train("u", "/p", i)
+	}
+	if n := d.Trained("u"); n != 7 {
+		t.Errorf("Trained = %d, want 7", n)
+	}
+	if n := d.Trained("ghost"); n != 0 {
+		t.Errorf("Trained(ghost) = %d, want 0", n)
+	}
+}
+
+func TestAnomalyConfigDefaults(t *testing.T) {
+	d := NewDetector(AnomalyConfig{})
+	def := DefaultAnomalyConfig()
+	if d.cfg.MinTraining != def.MinTraining || d.cfg.Threshold != def.Threshold {
+		t.Errorf("zero config not defaulted: %+v", d.cfg)
+	}
+}
+
+// Property: scores are never negative and training is monotone in count.
+func TestAnomalyScoreNonNegative(t *testing.T) {
+	d := trainedDetector(t)
+	prop := func(pathSeed uint8, length uint16) bool {
+		path := fmt.Sprintf("/p%d", pathSeed)
+		return d.Score("alice", path, int(length)) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("non-negative score property: %v", err)
+	}
+}
+
+// Welford moments must match the naive two-pass computation.
+func TestProfileMomentsMatchNaive(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		p := &profile{paths: make(map[string]int)}
+		var sum float64
+		for _, v := range raw {
+			p.observe("/x", int(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		naiveVar := ss / float64(len(raw)-1)
+		gotSD := p.stddevLen()
+		wantSD := 0.0
+		if naiveVar > 0 {
+			wantSD = sqrtApprox(naiveVar)
+		}
+		return approxEqual(p.meanLen, mean, 1e-9) && approxEqual(gotSD*gotSD, wantSD*wantSD, 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("Welford property: %v", err)
+	}
+}
+
+func approxEqual(a, b, eps float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if b > 1 || b < -1 {
+		if b < 0 {
+			scale = -b
+		} else {
+			scale = b
+		}
+	}
+	return diff <= eps*scale
+}
+
+func sqrtApprox(x float64) float64 {
+	// Newton iterations are plenty for test comparison.
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 64; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}

@@ -1,0 +1,131 @@
+package ids
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4)
+	defer sub.Cancel()
+
+	b.Publish(Report{Kind: DetectedAttack, Signature: "phf"})
+	select {
+	case r := <-sub.C:
+		if r.Signature != "phf" {
+			t.Errorf("report = %+v", r)
+		}
+	default:
+		t.Fatal("no report delivered")
+	}
+	if b.Published() != 1 {
+		t.Errorf("Published() = %d, want 1", b.Published())
+	}
+}
+
+func TestBusNonBlockingDrop(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(1)
+	defer sub.Cancel()
+
+	b.Publish(Report{Info: "1"})
+	b.Publish(Report{Info: "2"}) // buffer full: dropped
+	if got := sub.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+	r := <-sub.C
+	if r.Info != "1" {
+		t.Errorf("delivered report = %+v, want the first", r)
+	}
+}
+
+func TestBusCancelClosesChannel(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(1)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if _, ok := <-sub.C; ok {
+		t.Error("channel not closed after Cancel")
+	}
+	if b.Subscribers() != 0 {
+		t.Errorf("Subscribers() = %d, want 0", b.Subscribers())
+	}
+	b.Publish(Report{}) // must not panic
+}
+
+func TestBusMultipleSubscribers(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe(2)
+	s2 := b.Subscribe(2)
+	defer s1.Cancel()
+	defer s2.Cancel()
+	b.Publish(Report{Info: "x"})
+	if (<-s1.C).Info != "x" || (<-s2.C).Info != "x" {
+		t.Error("fan-out failed")
+	}
+}
+
+func TestBusMinimumBuffer(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(0)
+	defer sub.Cancel()
+	b.Publish(Report{Info: "only"})
+	select {
+	case r := <-sub.C:
+		if r.Info != "only" {
+			t.Errorf("report = %+v", r)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("buffer-0 subscription should be clamped to 1")
+	}
+}
+
+func TestCorrelatorRunConsumesUntilCancel(t *testing.T) {
+	mgr := NewManager(Low)
+	c := NewCorrelator(mgr, DefaultCorrelatorConfig())
+	b := NewBus()
+	sub := b.Subscribe(8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(ctx, sub)
+	}()
+
+	b.Publish(Report{Kind: DetectedAttack, Severity: SevHigh})
+	deadline := time.After(2 * time.Second)
+	for mgr.Level() != High {
+		select {
+		case <-deadline:
+			t.Fatal("correlator did not escalate to high")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on context cancel")
+	}
+}
+
+func TestCorrelatorRunStopsOnClosedSubscription(t *testing.T) {
+	mgr := NewManager(Low)
+	c := NewCorrelator(mgr, DefaultCorrelatorConfig())
+	b := NewBus()
+	sub := b.Subscribe(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(context.Background(), sub)
+	}()
+	sub.Cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop when subscription closed")
+	}
+}

@@ -1,0 +1,154 @@
+package ids
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// CorrelatorConfig tunes threat-level escalation.
+type CorrelatorConfig struct {
+	// Window is the sliding window over which events are counted.
+	Window time.Duration
+	// MediumAfter is the number of medium-or-worse attack events
+	// within Window that raises the level to Medium.
+	MediumAfter int
+	// HighAfter is the number of high-severity attack events within
+	// Window that raises the level to High.
+	HighAfter int
+	// Decay lowers the level one step after a quiet period of this
+	// length; zero disables decay.
+	Decay time.Duration
+	// Clock overrides the time source (tests); nil means time.Now.
+	Clock func() time.Time
+}
+
+// DefaultCorrelatorConfig mirrors a conservative deployment: one
+// high-severity event within a minute marks the system under attack;
+// three suspicious events raise it to Medium.
+func DefaultCorrelatorConfig() CorrelatorConfig {
+	return CorrelatorConfig{
+		Window:      time.Minute,
+		MediumAfter: 3,
+		HighAfter:   1,
+		Decay:       5 * time.Minute,
+	}
+}
+
+// Correlator consumes GAA-API reports and adapts the system threat
+// level — the host-IDS role of paper sections 3 and 7.1. It is safe
+// for concurrent use.
+type Correlator struct {
+	cfg     CorrelatorConfig
+	mgr     *Manager
+	clock   func() time.Time
+	mu      sync.Mutex
+	medium  []time.Time // medium-or-worse event times within window
+	high    []time.Time // high-severity event times within window
+	lastHit time.Time
+}
+
+// NewCorrelator returns a correlator driving mgr.
+func NewCorrelator(mgr *Manager, cfg CorrelatorConfig) *Correlator {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.MediumAfter <= 0 {
+		cfg.MediumAfter = 3
+	}
+	if cfg.HighAfter <= 0 {
+		cfg.HighAfter = 1
+	}
+	return &Correlator{cfg: cfg, mgr: mgr, clock: clock}
+}
+
+// Observe processes one report synchronously and returns the threat
+// level after processing.
+func (c *Correlator) Observe(r Report) Level {
+	if !isThreatening(r.Kind) {
+		c.maybeDecay()
+		return c.mgr.Level()
+	}
+	now := c.clock()
+	c.mu.Lock()
+	c.lastHit = now
+	cutoff := now.Add(-c.cfg.Window)
+	if r.Severity >= SevMedium {
+		c.medium = trimBefore(append(c.medium, now), cutoff)
+	}
+	if r.Severity >= SevHigh {
+		c.high = trimBefore(append(c.high, now), cutoff)
+	}
+	nMedium, nHigh := len(c.medium), len(c.high)
+	c.mu.Unlock()
+
+	switch {
+	case nHigh >= c.cfg.HighAfter:
+		c.mgr.Escalate(High)
+	case nMedium >= c.cfg.MediumAfter:
+		c.mgr.Escalate(Medium)
+	}
+	return c.mgr.Level()
+}
+
+// maybeDecay lowers the threat level one step after a quiet period.
+func (c *Correlator) maybeDecay() {
+	if c.cfg.Decay <= 0 {
+		return
+	}
+	c.mu.Lock()
+	quietSince := c.lastHit
+	c.mu.Unlock()
+	if quietSince.IsZero() || c.clock().Sub(quietSince) < c.cfg.Decay {
+		return
+	}
+	cur := c.mgr.Level()
+	if cur > Low {
+		c.mgr.Set(cur - 1)
+		c.mu.Lock()
+		c.lastHit = c.clock() // restart the quiet period for the next step
+		c.mu.Unlock()
+	}
+}
+
+// Run consumes reports from sub until ctx is cancelled or the
+// subscription is closed. Call in a goroutine; it returns when done.
+func (c *Correlator) Run(ctx context.Context, sub *Subscription) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case r, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			c.Observe(r)
+		}
+	}
+}
+
+// isThreatening reports whether the report kind contributes to threat
+// escalation.
+func isThreatening(k ReportKind) bool {
+	switch k {
+	case IllFormedRequest, AbnormalParameters, SensitiveAccessDenial,
+		ThresholdViolation, DetectedAttack, UnusualBehavior:
+		return true
+	default:
+		return false
+	}
+}
+
+// trimBefore drops timestamps before cutoff (the slice is in
+// chronological order).
+func trimBefore(ts []time.Time, cutoff time.Time) []time.Time {
+	i := 0
+	for i < len(ts) && ts[i].Before(cutoff) {
+		i++
+	}
+	return append(ts[:0], ts[i:]...)
+}

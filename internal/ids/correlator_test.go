@@ -1,0 +1,119 @@
+package ids
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2003, 5, 19, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func attackReport(sev Severity) Report {
+	return Report{Kind: DetectedAttack, Severity: sev, Signature: "phf"}
+}
+
+func TestCorrelatorHighSeverityEscalatesImmediately(t *testing.T) {
+	clk := newFakeClock()
+	mgr := NewManager(Low)
+	cfg := DefaultCorrelatorConfig()
+	cfg.Clock = clk.Now
+	c := NewCorrelator(mgr, cfg)
+
+	if got := c.Observe(attackReport(SevHigh)); got != High {
+		t.Errorf("level after high-severity attack = %v, want high", got)
+	}
+}
+
+func TestCorrelatorMediumNeedsRepeats(t *testing.T) {
+	clk := newFakeClock()
+	mgr := NewManager(Low)
+	cfg := DefaultCorrelatorConfig()
+	cfg.Clock = clk.Now
+	c := NewCorrelator(mgr, cfg)
+
+	c.Observe(attackReport(SevMedium))
+	if mgr.Level() != Low {
+		t.Fatalf("level after 1 medium event = %v, want low", mgr.Level())
+	}
+	c.Observe(attackReport(SevMedium))
+	c.Observe(attackReport(SevMedium))
+	if mgr.Level() != Medium {
+		t.Errorf("level after 3 medium events = %v, want medium", mgr.Level())
+	}
+}
+
+func TestCorrelatorWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	mgr := NewManager(Low)
+	cfg := CorrelatorConfig{Window: time.Minute, MediumAfter: 2, HighAfter: 10, Clock: clk.Now}
+	c := NewCorrelator(mgr, cfg)
+
+	c.Observe(attackReport(SevMedium))
+	clk.Advance(2 * time.Minute) // first event leaves the window
+	c.Observe(attackReport(SevMedium))
+	if mgr.Level() != Low {
+		t.Errorf("level = %v, want low (events outside window must not accumulate)", mgr.Level())
+	}
+}
+
+func TestCorrelatorDecay(t *testing.T) {
+	clk := newFakeClock()
+	mgr := NewManager(Low)
+	cfg := CorrelatorConfig{Window: time.Minute, MediumAfter: 10, HighAfter: 1, Decay: 5 * time.Minute, Clock: clk.Now}
+	c := NewCorrelator(mgr, cfg)
+
+	c.Observe(attackReport(SevHigh))
+	if mgr.Level() != High {
+		t.Fatalf("level = %v, want high", mgr.Level())
+	}
+	clk.Advance(6 * time.Minute)
+	c.Observe(Report{Kind: LegitimatePattern}) // quiet traffic triggers decay check
+	if mgr.Level() != Medium {
+		t.Errorf("level after quiet period = %v, want medium (one-step decay)", mgr.Level())
+	}
+	clk.Advance(6 * time.Minute)
+	c.Observe(Report{Kind: LegitimatePattern})
+	if mgr.Level() != Low {
+		t.Errorf("level after second quiet period = %v, want low", mgr.Level())
+	}
+}
+
+func TestCorrelatorLegitimateTrafficNeverEscalates(t *testing.T) {
+	clk := newFakeClock()
+	mgr := NewManager(Low)
+	cfg := DefaultCorrelatorConfig()
+	cfg.Clock = clk.Now
+	c := NewCorrelator(mgr, cfg)
+	for i := 0; i < 100; i++ {
+		c.Observe(Report{Kind: LegitimatePattern, Severity: SevInfo})
+	}
+	if mgr.Level() != Low {
+		t.Errorf("level = %v, want low", mgr.Level())
+	}
+}
+
+func TestCorrelatorDefaultsApplied(t *testing.T) {
+	mgr := NewManager(Low)
+	c := NewCorrelator(mgr, CorrelatorConfig{})
+	if c.cfg.Window <= 0 || c.cfg.MediumAfter <= 0 || c.cfg.HighAfter <= 0 {
+		t.Errorf("zero config not defaulted: %+v", c.cfg)
+	}
+}
+
+func TestIsThreatening(t *testing.T) {
+	if isThreatening(LegitimatePattern) {
+		t.Error("legitimate_pattern must not be threatening")
+	}
+	for _, k := range []ReportKind{IllFormedRequest, AbnormalParameters, SensitiveAccessDenial, ThresholdViolation, DetectedAttack, UnusualBehavior} {
+		if !isThreatening(k) {
+			t.Errorf("%v should be threatening", k)
+		}
+	}
+}

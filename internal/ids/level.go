@@ -1,0 +1,142 @@
+// Package ids implements the intrusion-detection substrate the GAA-API
+// interacts with (paper section 3): a system threat-level manager, an
+// attack-signature database, the seven classes of GAA-to-IDS reports, a
+// subscription-based event bus (paper section 9 future work), a
+// correlator that adapts the threat level to observed events, and an
+// anomaly detector built from per-principal behaviour profiles.
+package ids
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Level is the system threat level supplied by the IDS (paper section
+// 7.1): "low threat level means normal system operational state, medium
+// threat level indicates suspicious behavior and high threat level
+// means that the system is under attack".
+type Level int
+
+const (
+	// Low is the normal operational state.
+	Low Level = iota + 1
+	// Medium indicates suspicious behaviour.
+	Medium
+	// High means the system is under attack.
+	High
+)
+
+// String returns "low", "medium" or "high".
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a symbolic threat level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return Low, nil
+	case "medium":
+		return Medium, nil
+	case "high":
+		return High, nil
+	default:
+		return 0, fmt.Errorf("unknown threat level %q", s)
+	}
+}
+
+// LevelProvider supplies the current threat level; condition evaluators
+// depend on this narrow interface rather than the full Manager.
+type LevelProvider interface {
+	Level() Level
+}
+
+// Manager holds the current system threat level and notifies
+// subscribers of changes. It is safe for concurrent use.
+type Manager struct {
+	mu    sync.RWMutex
+	level Level
+	subs  map[int]chan Level
+	next  int
+}
+
+// NewManager returns a manager starting at the given level (use Low for
+// normal operation).
+func NewManager(initial Level) *Manager {
+	return &Manager{level: initial, subs: make(map[int]chan Level)}
+}
+
+// Level implements LevelProvider.
+func (m *Manager) Level() Level {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.level
+}
+
+// Set changes the threat level and notifies subscribers. Setting the
+// current level is a no-op.
+func (m *Manager) Set(l Level) {
+	m.mu.Lock()
+	if m.level == l {
+		m.mu.Unlock()
+		return
+	}
+	m.level = l
+	subs := make([]chan Level, 0, len(m.subs))
+	for _, ch := range m.subs {
+		subs = append(subs, ch)
+	}
+	m.mu.Unlock()
+	for _, ch := range subs {
+		// Latest-wins: drop a pending stale value, then send.
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- l:
+		default:
+		}
+	}
+}
+
+// Escalate raises the level to l if it is higher than the current one
+// and reports whether a change occurred.
+func (m *Manager) Escalate(l Level) bool {
+	m.mu.RLock()
+	cur := m.level
+	m.mu.RUnlock()
+	if l <= cur {
+		return false
+	}
+	m.Set(l)
+	return true
+}
+
+// Subscribe returns a channel receiving level changes (latest value
+// wins; intermediate values may be skipped) and a cancel function that
+// must be called to release the subscription.
+func (m *Manager) Subscribe() (<-chan Level, func()) {
+	ch := make(chan Level, 1)
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	m.subs[id] = ch
+	m.mu.Unlock()
+	cancel := func() {
+		m.mu.Lock()
+		delete(m.subs, id)
+		m.mu.Unlock()
+	}
+	return ch, cancel
+}

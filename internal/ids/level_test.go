@@ -1,0 +1,129 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Level
+		wantErr bool
+	}{
+		{"low", Low, false},
+		{"MEDIUM", Medium, false},
+		{"High", High, false},
+		{"critical", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseLevel(tt.in)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("ParseLevel(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Error("Level.String mismatch")
+	}
+	if Level(7).String() != "Level(7)" {
+		t.Error("unknown Level.String mismatch")
+	}
+}
+
+func TestLevelOrdering(t *testing.T) {
+	if !(Low < Medium && Medium < High) {
+		t.Error("levels must be ordered low < medium < high")
+	}
+}
+
+func TestManagerSetAndEscalate(t *testing.T) {
+	m := NewManager(Low)
+	if m.Level() != Low {
+		t.Fatalf("initial level = %v", m.Level())
+	}
+	if !m.Escalate(Medium) {
+		t.Error("Escalate(Medium) from Low should change")
+	}
+	if m.Escalate(Low) {
+		t.Error("Escalate(Low) from Medium must not lower")
+	}
+	if m.Level() != Medium {
+		t.Errorf("level = %v, want medium", m.Level())
+	}
+	m.Set(Low)
+	if m.Level() != Low {
+		t.Errorf("Set(Low): level = %v", m.Level())
+	}
+}
+
+func TestManagerSubscription(t *testing.T) {
+	m := NewManager(Low)
+	ch, cancel := m.Subscribe()
+	defer cancel()
+
+	m.Set(High)
+	select {
+	case got := <-ch:
+		if got != High {
+			t.Errorf("received %v, want high", got)
+		}
+	default:
+		t.Fatal("no notification received")
+	}
+
+	// Latest-wins: two rapid changes leave only the last value.
+	m.Set(Low)
+	m.Set(Medium)
+	select {
+	case got := <-ch:
+		if got != Medium {
+			t.Errorf("received %v, want medium (latest wins)", got)
+		}
+	default:
+		t.Fatal("no notification after rapid changes")
+	}
+}
+
+func TestManagerSubscribeCancel(t *testing.T) {
+	m := NewManager(Low)
+	ch, cancel := m.Subscribe()
+	cancel()
+	m.Set(High)
+	select {
+	case <-ch:
+		t.Error("cancelled subscription still receiving")
+	default:
+	}
+}
+
+func TestManagerSetSameLevelNoNotify(t *testing.T) {
+	m := NewManager(Medium)
+	ch, cancel := m.Subscribe()
+	defer cancel()
+	m.Set(Medium)
+	select {
+	case <-ch:
+		t.Error("notification for no-op Set")
+	default:
+	}
+}
+
+func TestManagerConcurrency(t *testing.T) {
+	m := NewManager(Low)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Escalate(Level(i%3 + 1))
+			_ = m.Level()
+		}(i)
+	}
+	wg.Wait()
+	if l := m.Level(); l < Low || l > High {
+		t.Errorf("level out of range after concurrent use: %v", l)
+	}
+}

@@ -1,0 +1,65 @@
+package ids
+
+import (
+	"sync"
+
+	"gaaapi/internal/eacl"
+)
+
+// NetworkIDS is the network-based IDS the GAA-API queries before
+// applying pro-active countermeasures: "The GAA-API can request a
+// network-based IDS to report, for example, indications of address
+// spoofing. ... This is particularly important for applying pro-active
+// countermeasures, such as updating firewall rules and dropping
+// connections" (paper section 3) — because "an automated response to
+// attacks can be used by an intruder in order to stage a DoS (the
+// intruder could have impersonated a host)" (section 1).
+type NetworkIDS interface {
+	// SpoofIndication reports whether the address shows signs of
+	// being spoofed, with a confidence in [0, 1].
+	SpoofIndication(ip string) (spoofed bool, confidence float64)
+}
+
+// StaticSpoofList is a NetworkIDS simulation: addresses matching any
+// of the configured '*'-glob or exact patterns are reported as spoofed.
+// In a real deployment this would be fed by TTL/queue anomaly analysis
+// on the wire; the interface boundary is what the paper specifies.
+type StaticSpoofList struct {
+	mu         sync.RWMutex
+	patterns   []string
+	confidence float64
+}
+
+var _ NetworkIDS = (*StaticSpoofList)(nil)
+
+// NewStaticSpoofList returns a list reporting the given patterns as
+// spoofed with the given confidence (clamped to [0,1], default 0.9
+// when non-positive).
+func NewStaticSpoofList(confidence float64, patterns ...string) *StaticSpoofList {
+	if confidence <= 0 {
+		confidence = 0.9
+	}
+	if confidence > 1 {
+		confidence = 1
+	}
+	return &StaticSpoofList{patterns: append([]string(nil), patterns...), confidence: confidence}
+}
+
+// Add registers another spoofed-source pattern.
+func (s *StaticSpoofList) Add(pattern string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.patterns = append(s.patterns, pattern)
+}
+
+// SpoofIndication implements NetworkIDS.
+func (s *StaticSpoofList) SpoofIndication(ip string) (bool, float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.patterns {
+		if eacl.Glob(p, ip) {
+			return true, s.confidence
+		}
+	}
+	return false, 0
+}

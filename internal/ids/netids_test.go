@@ -1,0 +1,33 @@
+package ids
+
+import "testing"
+
+func TestStaticSpoofList(t *testing.T) {
+	s := NewStaticSpoofList(0.8, "203.0.113.*")
+	if spoofed, conf := s.SpoofIndication("203.0.113.77"); !spoofed || conf != 0.8 {
+		t.Errorf("SpoofIndication = %v, %v; want true, 0.8", spoofed, conf)
+	}
+	if spoofed, conf := s.SpoofIndication("10.0.0.1"); spoofed || conf != 0 {
+		t.Errorf("clean address = %v, %v; want false, 0", spoofed, conf)
+	}
+	s.Add("10.0.0.1")
+	if spoofed, _ := s.SpoofIndication("10.0.0.1"); !spoofed {
+		t.Error("Add had no effect")
+	}
+}
+
+func TestStaticSpoofListConfidenceClamping(t *testing.T) {
+	if s := NewStaticSpoofList(0, "x"); s.confidence != 0.9 {
+		t.Errorf("default confidence = %v, want 0.9", s.confidence)
+	}
+	if s := NewStaticSpoofList(5, "x"); s.confidence != 1 {
+		t.Errorf("clamped confidence = %v, want 1", s.confidence)
+	}
+}
+
+func TestStaticSpoofListEmpty(t *testing.T) {
+	s := NewStaticSpoofList(0.9)
+	if spoofed, _ := s.SpoofIndication("1.2.3.4"); spoofed {
+		t.Error("empty list reported a spoof")
+	}
+}

@@ -1,0 +1,101 @@
+package ids
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReportKind classifies the information the GAA-API reports to an IDS
+// (the seven classes of paper section 3).
+type ReportKind int
+
+const (
+	// IllFormedRequest: the application-level request is malformed and
+	// may signal an attack (section 3, item 1).
+	IllFormedRequest ReportKind = iota + 1
+	// AbnormalParameters: request parameters are abnormally large or
+	// violate site policy (item 2).
+	AbnormalParameters
+	// SensitiveAccessDenial: access to a sensitive system object was
+	// denied (item 3).
+	SensitiveAccessDenial
+	// ThresholdViolation: a threshold condition was violated, e.g. too
+	// many failed logins within a period (item 4).
+	ThresholdViolation
+	// DetectedAttack: an application-level attack was detected; the
+	// report carries threat characteristics (item 5).
+	DetectedAttack
+	// UnusualBehavior: suspicious application behaviour, e.g. an
+	// anomalous access pattern (item 6).
+	UnusualBehavior
+	// LegitimatePattern: a legitimate access pattern usable for
+	// profile building (item 7).
+	LegitimatePattern
+)
+
+// String returns a stable symbolic name for logs and metrics.
+func (k ReportKind) String() string {
+	switch k {
+	case IllFormedRequest:
+		return "ill_formed_request"
+	case AbnormalParameters:
+		return "abnormal_parameters"
+	case SensitiveAccessDenial:
+		return "sensitive_access_denial"
+	case ThresholdViolation:
+		return "threshold_violation"
+	case DetectedAttack:
+		return "detected_attack"
+	case UnusualBehavior:
+		return "unusual_behavior"
+	case LegitimatePattern:
+		return "legitimate_pattern"
+	default:
+		return fmt.Sprintf("ReportKind(%d)", int(k))
+	}
+}
+
+// Severity grades detected attacks.
+type Severity int
+
+const (
+	// SevInfo events are informational.
+	SevInfo Severity = iota + 1
+	// SevMedium events indicate suspicious activity.
+	SevMedium
+	// SevHigh events indicate an ongoing attack.
+	SevHigh
+)
+
+// String returns "info", "medium" or "high".
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevMedium:
+		return "medium"
+	case SevHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Report is one GAA-API → IDS report. "The report may include threat
+// characteristics, such as attack type and severity, confidence value
+// and defensive recommendations" (paper section 3).
+type Report struct {
+	Time       time.Time
+	Kind       ReportKind
+	Source     string // reporting application, e.g. "apache"
+	ClientIP   string
+	User       string
+	Object     string // protected object involved
+	Signature  string // matching attack signature name, if any
+	Severity   Severity
+	Confidence float64 // 0..1
+	Info       string
+	// Recommendation is the defensive recommendation, e.g.
+	// "blacklist source address".
+	Recommendation string
+}

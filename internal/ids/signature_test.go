@@ -1,0 +1,101 @@
+package ids
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultSignaturesDetectPaperAttacks(t *testing.T) {
+	db := NewDB(DefaultSignatures()...)
+	tests := []struct {
+		name    string
+		request string
+		want    string // expected signature name, "" for no match
+	}{
+		{"phf probe", "GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd", "phf"},
+		{"test-cgi probe", "GET /cgi-bin/test-cgi?*", "test-cgi"},
+		{"slash flood", "GET /" + strings.Repeat("/", 30) + "index.html", "slash-flood"},
+		{"nimda traversal", "GET /scripts/..%c0%af../winnt/system32/cmd.exe?/c+dir", "nimda"},
+		{"nimda cmd.exe", "GET /msadc/root.exe?/c+dir", "nimda"},
+		{"legit page", "GET /index.html", ""},
+		{"legit encoded space", "GET /docs/a%20b.html", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			hits := db.Match(tt.request)
+			if tt.want == "" {
+				if len(hits) != 0 {
+					t.Errorf("unexpected hits %v for %q", names(hits), tt.request)
+				}
+				return
+			}
+			if len(hits) == 0 {
+				t.Fatalf("no hit for %q, want %q", tt.request, tt.want)
+			}
+			found := false
+			for _, h := range hits {
+				if h.Name == tt.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("hits = %v, want to include %q", names(hits), tt.want)
+			}
+		})
+	}
+}
+
+func names(sigs []Signature) []string {
+	out := make([]string, len(sigs))
+	for i, s := range sigs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestDBAddAndLen(t *testing.T) {
+	db := NewDB()
+	if db.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", db.Len())
+	}
+	db.Add(Signature{Name: "custom", Patterns: []string{"*evil*"}, Severity: SevMedium, Kind: "custom"})
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	if hits := db.Match("GET /evil/path"); len(hits) != 1 || hits[0].Name != "custom" {
+		t.Errorf("Match = %v", names(hits))
+	}
+}
+
+func TestSignatureMultiplePatterns(t *testing.T) {
+	s := Signature{Patterns: []string{"*a*", "*b*"}}
+	if !s.Matches("xxbxx") || !s.Matches("xaxx") || s.Matches("cc") {
+		t.Error("multi-pattern matching broken")
+	}
+}
+
+func TestReportKindStrings(t *testing.T) {
+	kinds := map[ReportKind]string{
+		IllFormedRequest:      "ill_formed_request",
+		AbnormalParameters:    "abnormal_parameters",
+		SensitiveAccessDenial: "sensitive_access_denial",
+		ThresholdViolation:    "threshold_violation",
+		DetectedAttack:        "detected_attack",
+		UnusualBehavior:       "unusual_behavior",
+		LegitimatePattern:     "legitimate_pattern",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if ReportKind(0).String() != "ReportKind(0)" {
+		t.Error("unknown kind String mismatch")
+	}
+	if SevInfo.String() != "info" || SevMedium.String() != "medium" || SevHigh.String() != "high" {
+		t.Error("Severity.String mismatch")
+	}
+	if Severity(9).String() != "Severity(9)" {
+		t.Error("unknown Severity.String mismatch")
+	}
+}

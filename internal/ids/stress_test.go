@@ -1,0 +1,92 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBusConcurrentPublishSubscribe stresses the bus with publishers,
+// subscribers and cancellations racing (validated with -race in CI).
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+
+	// Churning subscribers.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sub := b.Subscribe(4)
+				for len(sub.C) > 0 {
+					<-sub.C
+				}
+				sub.Cancel()
+			}
+		}()
+	}
+	// Publishers.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Report{Kind: LegitimatePattern})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Published(); got != 800 {
+		t.Errorf("published = %d, want 800", got)
+	}
+	if b.Subscribers() != 0 {
+		t.Errorf("leaked subscribers: %d", b.Subscribers())
+	}
+}
+
+// TestCorrelatorConcurrentObserve: concurrent reports never corrupt the
+// window state or panic.
+func TestCorrelatorConcurrentObserve(t *testing.T) {
+	mgr := NewManager(Low)
+	c := NewCorrelator(mgr, CorrelatorConfig{Window: time.Minute, MediumAfter: 5, HighAfter: 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.Observe(Report{Kind: DetectedAttack, Severity: SevMedium})
+			}
+		}()
+	}
+	wg.Wait()
+	if mgr.Level() != Medium {
+		t.Errorf("level = %v, want medium after 800 medium events", mgr.Level())
+	}
+}
+
+// TestDetectorConcurrentTrainScore: training and scoring race safely.
+func TestDetectorConcurrentTrainScore(t *testing.T) {
+	d := NewDetector(DefaultAnomalyConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				d.Train("u", "/p", j%10)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				d.Score("u", "/p", j%10)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := d.Trained("u"); n != 1600 {
+		t.Errorf("trained = %d, want 1600", n)
+	}
+}

@@ -1,0 +1,114 @@
+package ids
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mapSink collects Set calls.
+type mapSink struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newMapSink() *mapSink { return &mapSink{m: make(map[string]string)} }
+
+func (s *mapSink) Set(name, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = value
+}
+
+func (s *mapSink) get(name string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+func TestValueTunerApply(t *testing.T) {
+	sink := newMapSink()
+	tuner := NewValueTuner(sink)
+	tuner.SetLevelValues(Low, map[string]string{"max_input": "1000", "window": "00:00-24:00"})
+	tuner.SetLevelValues(High, map[string]string{"max_input": "200"})
+
+	tuner.Apply(Low)
+	if sink.get("max_input") != "1000" {
+		t.Errorf("low max_input = %q", sink.get("max_input"))
+	}
+	tuner.Apply(High)
+	if sink.get("max_input") != "200" {
+		t.Errorf("high max_input = %q", sink.get("max_input"))
+	}
+	// Values not mentioned at the new level keep their last setting.
+	if sink.get("window") != "00:00-24:00" {
+		t.Errorf("window = %q, want untouched", sink.get("window"))
+	}
+	// Applying an unconfigured level is a no-op.
+	tuner.Apply(Medium)
+	if sink.get("max_input") != "200" {
+		t.Error("unconfigured level changed values")
+	}
+}
+
+func TestValueTunerCopiesInput(t *testing.T) {
+	sink := newMapSink()
+	tuner := NewValueTuner(sink)
+	values := map[string]string{"k": "1"}
+	tuner.SetLevelValues(Low, values)
+	values["k"] = "mutated"
+	tuner.Apply(Low)
+	if sink.get("k") != "1" {
+		t.Error("tuner shares storage with caller")
+	}
+}
+
+func TestValueTunerRunFollowsManager(t *testing.T) {
+	sink := newMapSink()
+	tuner := NewValueTuner(sink)
+	tuner.SetLevelValues(Medium, map[string]string{"max_input": "500"})
+
+	mgr := NewManager(Low)
+	ch, cancelSub := mgr.Subscribe()
+	defer cancelSub()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tuner.Run(ctx, ch)
+	}()
+
+	mgr.Set(Medium)
+	deadline := time.After(2 * time.Second)
+	for sink.get("max_input") != "500" {
+		select {
+		case <-deadline:
+			t.Fatal("tuner did not apply values on level change")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+func TestValueTunerRunStopsOnClosedChannel(t *testing.T) {
+	tuner := NewValueTuner(newMapSink())
+	ch := make(chan Level)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tuner.Run(context.Background(), ch)
+	}()
+	close(ch)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on closed channel")
+	}
+}

@@ -1,0 +1,124 @@
+package logscan
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gaaapi/internal/httpd"
+	"gaaapi/internal/ids"
+)
+
+const sampleLog = `10.0.0.1 - alice [19/May/2003:12:00:00 +0000] "GET /index.html" 200 512
+10.0.0.66 - - [19/May/2003:12:00:01 +0000] "GET /cgi-bin/phf?Qalias=x" 200 88
+10.0.0.66 - - [19/May/2003:12:00:02 +0000] "GET /cgi-bin/test-cgi" 403 -
+not a log line at all
+10.0.0.9 - - [19/May/2003:12:00:03 +0000] "GET /scripts/..%c0%af../cmd.exe" 500 20
+`
+
+func TestParseLine(t *testing.T) {
+	e, err := ParseLine(`10.0.0.66 - alice [19/May/2003:12:00:01 +0000] "GET /cgi-bin/phf?Qalias=x" 200 88`)
+	if err != nil {
+		t.Fatalf("ParseLine: %v", err)
+	}
+	if e.Host != "10.0.0.66" || e.User != "alice" || e.Status != 200 || e.Bytes != 88 {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Request != "GET /cgi-bin/phf?Qalias=x" {
+		t.Errorf("request = %q", e.Request)
+	}
+	want := time.Date(2003, 5, 19, 12, 0, 1, 0, time.UTC)
+	if !e.Time.Equal(want) {
+		t.Errorf("time = %v, want %v", e.Time, want)
+	}
+}
+
+func TestParseLineVariants(t *testing.T) {
+	// "-" byte count and anonymous user.
+	e, err := ParseLine(`1.2.3.4 - - [19/May/2003:12:00:00 +0000] "GET /x" 403 -`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bytes != -1 || e.User != "" {
+		t.Errorf("entry = %+v", e)
+	}
+	// Malformed lines error.
+	for _, bad := range []string{
+		"",
+		"nonsense",
+		`1.2.3.4 - - [not-a-date] "GET /" 200 5`,
+		`1.2.3.4 - - [19/May/2003:12:00:00 +0000] "GET /" xxx 5`,
+		`1.2.3.4 - - [19/May/2003:12:00:00 +0000] "GET /" 200 abc`,
+	} {
+		if _, err := ParseLine(bad); err == nil {
+			t.Errorf("ParseLine(%q): want error", bad)
+		}
+	}
+}
+
+func TestScanFindsAttacksAndCountsMalformed(t *testing.T) {
+	s := NewScanner(ids.NewDB(ids.DefaultSignatures()...))
+	findings, lines, malformed, err := s.Scan(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if lines != 5 || malformed != 1 {
+		t.Errorf("lines=%d malformed=%d, want 5/1", lines, malformed)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want 3 (phf, test-cgi, nimda)", len(findings))
+	}
+	// The phf hit was SERVED (status 200): the offline scanner sees it
+	// only after the damage is done.
+	if !findings[0].Executed || findings[0].Signature.Name != "phf" {
+		t.Errorf("finding[0] = %+v", findings[0])
+	}
+	// The test-cgi hit was blocked (403).
+	if findings[1].Executed || findings[1].Signature.Name != "test-cgi" {
+		t.Errorf("finding[1] = %+v", findings[1])
+	}
+	// 500 does not count as executed.
+	if findings[2].Executed {
+		t.Errorf("finding[2] = %+v", findings[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := NewScanner(ids.NewDB(ids.DefaultSignatures()...))
+	findings, _, _, err := s.Scan(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(findings)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Signature != "phf" || sums[0].Executed != 1 || sums[0].Blocked != 0 {
+		t.Errorf("phf summary = %+v", sums[0])
+	}
+	if sums[1].Signature != "test-cgi" || sums[1].Blocked != 1 {
+		t.Errorf("test-cgi summary = %+v", sums[1])
+	}
+}
+
+// TestRoundTripWithServerCLF: lines produced by the server's CLF
+// formatter parse back exactly.
+func TestRoundTripWithServerCLF(t *testing.T) {
+	req := httptest.NewRequest("GET", "/cgi-bin/phf?Qalias=x", nil)
+	req.RemoteAddr = "10.0.0.66:4242"
+	rec := httpd.NewRequestRec(req, nil, time.Date(2003, 5, 19, 12, 0, 0, 0, time.UTC))
+	line := httpd.FormatCLF(rec, 403, 0)
+	e, err := ParseLine(line)
+	if err != nil {
+		t.Fatalf("server CLF line does not parse: %v\nline: %s", err, line)
+	}
+	if e.Host != "10.0.0.66" || e.Status != 403 || e.Request != "GET /cgi-bin/phf?Qalias=x" {
+		t.Errorf("entry = %+v", e)
+	}
+	s := NewScanner(ids.NewDB(ids.DefaultSignatures()...))
+	findings, _, _, err := s.Scan(strings.NewReader(line + "\n"))
+	if err != nil || len(findings) != 1 || findings[0].Signature.Name != "phf" {
+		t.Errorf("scan of server line = %v, %v", findings, err)
+	}
+}

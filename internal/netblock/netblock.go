@@ -1,0 +1,137 @@
+// Package netblock simulates the firewall-facing countermeasures of the
+// paper's section 1: "blocking connections from particular parts of the
+// network". The web server consults the block set before processing a
+// request; response actions (rr_cond_block_ip) add entries, optionally
+// with an expiry.
+package netblock
+
+import (
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Set is a concurrent-safe set of blocked addresses and CIDR ranges.
+type Set struct {
+	clock func() time.Time
+
+	mu    sync.Mutex
+	hosts map[string]time.Time // ip -> expiry (zero = permanent)
+	nets  []blockedNet
+}
+
+type blockedNet struct {
+	cidr   string
+	ipnet  *net.IPNet
+	expiry time.Time // zero = permanent
+}
+
+// Option configures a Set.
+type Option interface{ apply(*Set) }
+
+type optionFunc func(*Set)
+
+func (f optionFunc) apply(s *Set) { f(s) }
+
+// WithClock overrides the time source (tests).
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(s *Set) { s.clock = now })
+}
+
+// NewSet returns an empty block set.
+func NewSet(opts ...Option) *Set {
+	s := &Set{clock: time.Now, hosts: make(map[string]time.Time)}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// Block adds addr — a single IP or a CIDR range — for the given
+// duration; d <= 0 blocks permanently. Unparsable addresses are blocked
+// as opaque host strings so a malformed-but-repeating client still gets
+// stopped.
+func (s *Set) Block(addr string, d time.Duration) {
+	var expiry time.Time
+	if d > 0 {
+		expiry = s.clock().Add(d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if strings.Contains(addr, "/") {
+		if _, ipnet, err := net.ParseCIDR(addr); err == nil {
+			s.nets = append(s.nets, blockedNet{cidr: addr, ipnet: ipnet, expiry: expiry})
+			return
+		}
+	}
+	s.hosts[addr] = expiry
+}
+
+// Unblock removes a previously blocked address or CIDR.
+func (s *Set) Unblock(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.hosts, addr)
+	kept := s.nets[:0]
+	for _, n := range s.nets {
+		if n.cidr != addr {
+			kept = append(kept, n)
+		}
+	}
+	s.nets = kept
+}
+
+// Blocked reports whether ip is currently blocked, expiring stale
+// entries as a side effect.
+func (s *Set) Blocked(ip string) bool {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if expiry, ok := s.hosts[ip]; ok {
+		if expiry.IsZero() || now.Before(expiry) {
+			return true
+		}
+		delete(s.hosts, ip)
+	}
+	parsed := net.ParseIP(ip)
+	kept := s.nets[:0]
+	blocked := false
+	for _, n := range s.nets {
+		if !n.expiry.IsZero() && !now.Before(n.expiry) {
+			continue // expired
+		}
+		kept = append(kept, n)
+		if parsed != nil && n.ipnet.Contains(parsed) {
+			blocked = true
+		}
+	}
+	s.nets = kept
+	return blocked
+}
+
+// List returns the currently blocked addresses and CIDRs, sorted.
+func (s *Set) List() []string {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for h, expiry := range s.hosts {
+		if expiry.IsZero() || now.Before(expiry) {
+			out = append(out, h)
+		}
+	}
+	for _, n := range s.nets {
+		if n.expiry.IsZero() || now.Before(n.expiry) {
+			out = append(out, n.cidr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live block entries.
+func (s *Set) Len() int {
+	return len(s.List())
+}

@@ -1,0 +1,117 @@
+package netblock
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+type clock struct{ now time.Time }
+
+func newClock() *clock {
+	return &clock{now: time.Date(2003, 5, 19, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *clock) Now() time.Time          { return c.now }
+func (c *clock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestBlockSingleIP(t *testing.T) {
+	s := NewSet()
+	s.Block("10.0.0.66", 0)
+	if !s.Blocked("10.0.0.66") {
+		t.Error("blocked IP not reported")
+	}
+	if s.Blocked("10.0.0.67") {
+		t.Error("unrelated IP reported blocked")
+	}
+	s.Unblock("10.0.0.66")
+	if s.Blocked("10.0.0.66") {
+		t.Error("Unblock had no effect")
+	}
+}
+
+func TestBlockCIDR(t *testing.T) {
+	s := NewSet()
+	s.Block("192.168.0.0/24", 0)
+	if !s.Blocked("192.168.0.200") {
+		t.Error("address in blocked CIDR not reported")
+	}
+	if s.Blocked("192.168.1.1") {
+		t.Error("address outside CIDR reported blocked")
+	}
+	s.Unblock("192.168.0.0/24")
+	if s.Blocked("192.168.0.200") {
+		t.Error("CIDR unblock had no effect")
+	}
+}
+
+func TestBlockExpiry(t *testing.T) {
+	clk := newClock()
+	s := NewSet(WithClock(clk.Now))
+	s.Block("10.0.0.66", 10*time.Minute)
+	s.Block("172.16.0.0/16", 10*time.Minute)
+	if !s.Blocked("10.0.0.66") || !s.Blocked("172.16.5.5") {
+		t.Fatal("fresh blocks not effective")
+	}
+	clk.Advance(11 * time.Minute)
+	if s.Blocked("10.0.0.66") {
+		t.Error("expired host block still effective")
+	}
+	if s.Blocked("172.16.5.5") {
+		t.Error("expired CIDR block still effective")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0 after expiry", s.Len())
+	}
+}
+
+func TestPermanentBlockSurvives(t *testing.T) {
+	clk := newClock()
+	s := NewSet(WithClock(clk.Now))
+	s.Block("10.0.0.1", 0)
+	clk.Advance(1000 * time.Hour)
+	if !s.Blocked("10.0.0.1") {
+		t.Error("permanent block expired")
+	}
+}
+
+func TestMalformedAddressBlockedOpaquely(t *testing.T) {
+	s := NewSet()
+	s.Block("not-an-ip", 0)
+	if !s.Blocked("not-an-ip") {
+		t.Error("opaque host string not blocked")
+	}
+	// A malformed CIDR degrades to an opaque host entry.
+	s.Block("999.0.0.0/99", 0)
+	if !s.Blocked("999.0.0.0/99") {
+		t.Error("malformed CIDR not blocked opaquely")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewSet()
+	s.Block("10.0.0.2", 0)
+	s.Block("10.0.0.1", 0)
+	s.Block("192.168.0.0/24", 0)
+	want := []string{"10.0.0.1", "10.0.0.2", "192.168.0.0/24"}
+	if got := s.List(); !reflect.DeepEqual(got, want) {
+		t.Errorf("List = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ip := "10.0.0." + string(rune('0'+i%10))
+			s.Block(ip, time.Minute)
+			s.Blocked(ip)
+			s.List()
+		}(i)
+	}
+	wg.Wait()
+}
