@@ -315,6 +315,130 @@ func BenchmarkE10_RuntimeValues(b *testing.B) {
 	b.Run("runtime-value", func(b *testing.B) { run(b, refPolicy, map[string]string{"max_input": "1000"}) })
 }
 
+// runGuardParallel measures Guard.Check under RunParallel at the given
+// parallelism (goroutines = parallelism × GOMAXPROCS).
+func runGuardParallel(b *testing.B, st *gaahttp.Stack, rec *httpd.RequestRec, parallelism int) {
+	b.SetParallelism(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			st.Guard.Check(rec)
+		}
+	})
+}
+
+// BenchmarkE1_GuardParallel is the E1 gaa-only row under concurrent
+// load: the access-control hook alone (no notification), legitimate
+// request, shared API instance.
+func BenchmarkE1_GuardParallel(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				SystemPolicy:  policy71System,
+				LocalPolicies: map[string]string{"*": policy72Local},
+				DocRoot:       workload.DocRoot(),
+			})
+			req := workload.Legit(1, 1)[0]
+			rec := httpd.NewRequestRec(req.HTTPRequest(), nil, time.Now())
+			runGuardParallel(b, st, rec, g)
+		})
+	}
+}
+
+// BenchmarkE4_PolicyCacheParallel is the E4 cache-on row under
+// concurrent load: the read-mostly cache keeps the hit path lock-free,
+// so ops/sec must not collapse as goroutines pile up.
+func BenchmarkE4_PolicyCacheParallel(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				SystemPolicy:  policy71System,
+				LocalPolicies: map[string]string{"*": policy72Local},
+				DocRoot:       workload.DocRoot(),
+				PolicyCache:   true,
+			})
+			req := workload.Legit(1, 1)[0]
+			rec := httpd.NewRequestRec(req.HTTPRequest(), nil, time.Now())
+			runGuardParallel(b, st, rec, g)
+		})
+	}
+}
+
+// BenchmarkE11_ServerParallel is the E11 whole-request shape under
+// RunParallel: full HTTP handling through the guarded server.
+func BenchmarkE11_ServerParallel(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			st := mustStack(b, gaahttp.StackConfig{
+				SystemPolicy:  policy71System,
+				LocalPolicies: map[string]string{"*": policy72Local},
+				DocRoot:       workload.DocRoot(),
+				PolicyCache:   true,
+			})
+			req := workload.Legit(1, 1)[0]
+			b.SetParallelism(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					st.Server.ServeHTTP(httptest.NewRecorder(), req.HTTPRequest())
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCheckAuthorizationInto asserts the zero-allocation claim:
+// with tracing disabled and the policy cached, a grant through the
+// caller-supplied-Answer entry point must not allocate.
+func BenchmarkCheckAuthorizationInto(b *testing.B) {
+	api := gaa.New(gaa.WithPolicyCache(64))
+	conditions.Register(api, conditions.Deps{
+		Threat: ids.NewManager(ids.Low),
+		Groups: groups.NewStore(),
+	})
+	src := gaa.NewMemorySource()
+	if err := src.AddPolicy("*", policy72Local); err != nil {
+		b.Fatal(err)
+	}
+	policy, err := api.GetObjectPolicyInfo("/index.html", nil, []gaa.PolicySource{src})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := gaa.NewRequest("apache", "GET /index.html",
+		gaa.Param{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: "GET /index.html"},
+		gaa.Param{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: "14"})
+	ctx := context.Background()
+
+	b.Run("serial", func(b *testing.B) {
+		ans := new(gaa.Answer)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := api.CheckAuthorizationInto(ctx, policy, req, ans); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if ans.Decision != gaa.Yes {
+			b.Fatalf("decision = %v, want yes", ans.Decision)
+		}
+	})
+	b.Run("parallel-16", func(b *testing.B) {
+		b.SetParallelism(16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ans := new(gaa.Answer)
+			for pb.Next() {
+				if err := api.CheckAuthorizationInto(ctx, policy, req, ans); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkEACLParse measures policy parsing (the cost the E4 cache
 // avoids).
 func BenchmarkEACLParse(b *testing.B) {

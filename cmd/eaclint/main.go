@@ -78,7 +78,8 @@ func run(args []string, out io.Writer) (int, error) {
 	// The registration vocabulary the findings are checked against:
 	// every built-in by default, or exactly what a GAA configuration
 	// file declares (paper section 6 step 1).
-	api := gaa.New()
+	// Tracing on: --explain renders the full evaluation trace.
+	api := gaa.New(gaa.WithTracing())
 	if *cfgPath != "" {
 		cfg, err := gaaconfig.ParseFile(*cfgPath)
 		if err != nil {

@@ -8,6 +8,8 @@
 //	gaa-bench -run e1,e3      # run a subset
 //	gaa-bench -trials 20      # the paper's trial count (default)
 //	gaa-bench -notify 47ms    # synthetic notification latency
+//	gaa-bench -parallel       # parallel decision-path throughput sweep
+//	gaa-bench -parallel -json # same, as JSON (BENCH_parallel.json)
 package main
 
 import (
@@ -31,16 +33,32 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gaa-bench", flag.ContinueOnError)
 	var (
-		runList = fs.String("run", "", "comma-separated experiment ids (e1..e8); empty = all")
-		trials  = fs.Int("trials", 20, "measurement trials per cell (paper protocol: 20)")
-		notify  = fs.Duration("notify", 47*time.Millisecond, "synthetic notification latency")
-		seed    = fs.Int64("seed", 2003, "workload seed")
-		list    = fs.Bool("list", false, "list experiments and exit")
+		runList  = fs.String("run", "", "comma-separated experiment ids (e1..e8); empty = all")
+		trials   = fs.Int("trials", 20, "measurement trials per cell (paper protocol: 20)")
+		notify   = fs.Duration("notify", 47*time.Millisecond, "synthetic notification latency")
+		seed     = fs.Int64("seed", 2003, "workload seed")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		parallel = fs.Bool("parallel", false, "run the parallel throughput sweep (1/4/16 goroutines) instead of the experiment tables")
+		jsonOut  = fs.Bool("json", false, "with -parallel: emit machine-readable JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Trials: *trials, NotifyLatency: *notify, Seed: *seed}
+
+	if *parallel {
+		if !*jsonOut {
+			return experiments.Parallel(out, opts)
+		}
+		results, err := experiments.ParallelResults(opts)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteParallelJSON(out, results)
+	}
+	if *jsonOut {
+		return fmt.Errorf("-json requires -parallel")
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

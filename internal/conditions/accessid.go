@@ -27,16 +27,20 @@ func (userEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.R
 			Detail:    "no authenticated user",
 		}
 	}
-	for _, want := range strings.Fields(cond.Value) {
+	for _, want := range splitFields(cond.Value) {
 		if eacl.Glob(want, user) {
 			return gaa.MetOutcome(gaa.ClassRequirement, "user "+user)
 		}
+	}
+	detail := "user not in list"
+	if req.Trace {
+		detail = fmt.Sprintf("user %q not in %q", user, cond.Value)
 	}
 	return gaa.Outcome{
 		Result:    gaa.No,
 		Class:     gaa.ClassRequirement,
 		Challenge: fmt.Sprintf("Basic realm=%q", cond.DefAuth),
-		Detail:    fmt.Sprintf("user %q not in %q", user, cond.Value),
+		Detail:    detail,
 	}
 }
 
@@ -68,7 +72,10 @@ func (g groupEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *ga
 			continue
 		}
 		if g.store.Contains(group, key) {
-			return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("%s in group %s", key, group))
+			if req.Trace {
+				return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("%s in group %s", key, group))
+			}
+			return gaa.MetOutcome(gaa.ClassSelector, "member of "+group)
 		}
 	}
 	return gaa.FailedOutcome(gaa.ClassSelector, "not a member of "+group)
@@ -87,10 +94,13 @@ func (hostEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.R
 	if !ok || host == "" {
 		return gaa.UnevaluatedOutcome("no client host parameter")
 	}
-	for _, want := range strings.Fields(cond.Value) {
+	for _, want := range splitFields(cond.Value) {
 		if eacl.Glob(want, host) {
 			return gaa.MetOutcome(gaa.ClassSelector, "host "+host)
 		}
 	}
-	return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("host %q does not match %q", host, cond.Value))
+	if req.Trace {
+		return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("host %q does not match %q", host, cond.Value))
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "host not in list")
 }

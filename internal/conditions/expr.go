@@ -34,10 +34,18 @@ func (exprEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.R
 	if !ok {
 		return gaa.UnevaluatedOutcome("no numeric parameter " + left)
 	}
+	// Formatted details are trace-only decoration; skip the Sprintf
+	// entirely on the untraced hot path.
 	if op.holdsInt(got, want) {
-		return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("%s=%d %s %d", left, got, op, want))
+		if req.Trace {
+			return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("%s=%d %s %d", left, got, op, want))
+		}
+		return gaa.MetOutcome(gaa.ClassSelector, "expr holds")
 	}
-	return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("%s=%d not %s %d", left, got, op, want))
+	if req.Trace {
+		return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("%s=%d not %s %d", left, got, op, want))
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "expr does not hold")
 }
 
 // quotaEvaluator implements mid_cond_quota: a usage limit that must
@@ -64,7 +72,13 @@ func (quotaEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.
 		return gaa.UnevaluatedOutcome("no usage parameter " + left)
 	}
 	if op.holdsInt(got, limit) {
-		return gaa.MetOutcome(gaa.ClassRequirement, fmt.Sprintf("%s=%d within %s%d", left, got, op, limit))
+		if req.Trace {
+			return gaa.MetOutcome(gaa.ClassRequirement, fmt.Sprintf("%s=%d within %s%d", left, got, op, limit))
+		}
+		return gaa.MetOutcome(gaa.ClassRequirement, "within quota")
 	}
-	return gaa.FailedOutcome(gaa.ClassRequirement, fmt.Sprintf("%s=%d violates %s%d", left, got, op, limit))
+	if req.Trace {
+		return gaa.FailedOutcome(gaa.ClassRequirement, fmt.Sprintf("%s=%d violates %s%d", left, got, op, limit))
+	}
+	return gaa.FailedOutcome(gaa.ClassRequirement, "quota violated")
 }

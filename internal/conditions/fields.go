@@ -1,0 +1,74 @@
+package conditions
+
+import (
+	"strings"
+	"sync"
+)
+
+// condShards is the shard count for the per-condition memo caches
+// below. Keys are condition value strings from parsed policy files — a
+// small, bounded vocabulary — so entries live for the process lifetime
+// and the caches never need eviction.
+const condShards = 8
+
+// shardedCache is a sharded read-mostly memo map keyed by condition
+// strings. Spreading keys over independently locked shards keeps
+// concurrent evaluations of unrelated conditions from serializing on a
+// single global mutex (the pre-existing regexCache bottleneck).
+type shardedCache[V any] struct {
+	shards [condShards]condShard[V]
+}
+
+type condShard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+	_  [64]byte // keep shard locks on separate cache lines
+}
+
+// shard hashes the key (FNV-1a) onto a shard.
+func (c *shardedCache[V]) shard(key string) *condShard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h%condShards]
+}
+
+func (c *shardedCache[V]) get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *shardedCache[V]) set(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]V)
+	}
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// splitCache memoizes strings.Fields over condition values: pattern
+// lists ("*phf* *test-cgi*", user lists, CIDR lists) are split once per
+// distinct condition, not once per evaluation.
+var splitCache shardedCache[[]string]
+
+// splitFields is a memoized strings.Fields for condition values. The
+// returned slice is shared — callers must not mutate it.
+func splitFields(s string) []string {
+	if v, ok := splitCache.get(s); ok {
+		return v
+	}
+	v := strings.Fields(s)
+	splitCache.set(s, v)
+	return v
+}

@@ -21,7 +21,7 @@ func (locationEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *g
 	if !ok || ip == "" {
 		return gaa.UnevaluatedOutcome("no client address parameter")
 	}
-	patterns := strings.Fields(cond.Value)
+	patterns := splitFields(cond.Value)
 	if len(patterns) == 0 {
 		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Detail: "empty location list"}
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"regexp"
 	"strings"
-	"sync"
 
 	"gaaapi/internal/eacl"
 	"gaaapi/internal/gaa"
@@ -19,18 +18,17 @@ import (
 // the denial, no match falls through (paper section 7.2).
 type regexEvaluator struct{}
 
-// compiled caches "re:" patterns; glob patterns need no compilation.
-var (
-	regexMu    sync.RWMutex
-	regexCache = make(map[string]*regexp.Regexp)
-)
+// regexCache caches compiled "re:" patterns, sharded so concurrent
+// evaluations don't serialize on one lock; glob patterns need no
+// compilation.
+var regexCache shardedCache[*regexp.Regexp]
 
 func (regexEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
 	subject, ok := req.Params.Get(gaa.ParamRequestURI, cond.DefAuth)
 	if !ok {
 		return gaa.UnevaluatedOutcome("no request_uri parameter")
 	}
-	patterns := strings.Fields(cond.Value)
+	patterns := splitFields(cond.Value)
 	if len(patterns) == 0 {
 		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Detail: "empty pattern list"}
 	}
@@ -53,19 +51,14 @@ func (regexEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.
 }
 
 func compileCached(expr string) (*regexp.Regexp, error) {
-	regexMu.RLock()
-	re, ok := regexCache[expr]
-	regexMu.RUnlock()
-	if ok {
+	if re, ok := regexCache.get(expr); ok {
 		return re, nil
 	}
 	re, err := regexp.Compile(expr)
 	if err != nil {
 		return nil, fmt.Errorf("bad regexp %q: %w", expr, err)
 	}
-	regexMu.Lock()
-	regexCache[expr] = re
-	regexMu.Unlock()
+	regexCache.set(expr, re)
 	return re, nil
 }
 

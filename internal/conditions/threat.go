@@ -18,7 +18,7 @@ type threatEvaluator struct {
 	provider ids.LevelProvider
 }
 
-func (t threatEvaluator) Evaluate(_ context.Context, cond eacl.Condition, _ *gaa.Request) gaa.Outcome {
+func (t threatEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
 	if t.provider == nil {
 		return gaa.UnevaluatedOutcome("no threat-level provider configured")
 	}
@@ -38,8 +38,16 @@ func (t threatEvaluator) Evaluate(_ context.Context, cond eacl.Condition, _ *gaa
 		return gaa.Outcome{Result: gaa.Maybe, Unevaluated: true, Err: err, Detail: "bad threat level"}
 	}
 	cur := t.provider.Level()
+	// Formatted details are trace-only decoration; skip the Sprintf
+	// entirely on the untraced hot path.
 	if op.holdsInt(int64(cur), int64(want)) {
-		return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("threat %s %s %s", cur, op, want))
+		if req.Trace {
+			return gaa.MetOutcome(gaa.ClassSelector, fmt.Sprintf("threat %s %s %s", cur, op, want))
+		}
+		return gaa.MetOutcome(gaa.ClassSelector, "threat level matches")
 	}
-	return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("threat %s not %s %s", cur, op, want))
+	if req.Trace {
+		return gaa.FailedOutcome(gaa.ClassSelector, fmt.Sprintf("threat %s not %s %s", cur, op, want))
+	}
+	return gaa.FailedOutcome(gaa.ClassSelector, "threat level differs")
 }

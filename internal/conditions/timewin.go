@@ -19,7 +19,7 @@ import (
 type timeWindowEvaluator struct{}
 
 func (timeWindowEvaluator) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
-	fields := strings.Fields(cond.Value)
+	fields := splitFields(cond.Value)
 	if len(fields) == 0 || len(fields) > 2 {
 		return gaa.Outcome{
 			Result: gaa.Maybe, Unevaluated: true,

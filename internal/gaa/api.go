@@ -3,6 +3,8 @@ package gaa
 import (
 	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"gaaapi/internal/eacl"
@@ -16,6 +18,7 @@ type API struct {
 	clock  func() time.Time
 	cache  *policyCache
 	values ValueProvider
+	trace  bool
 }
 
 // Option configures an API.
@@ -37,6 +40,15 @@ func WithClock(now func() time.Time) Option {
 // invalidated when any contributing source's revision changes.
 func WithPolicyCache(maxEntries int) Option {
 	return optionFunc(func(a *API) { a.cache = newPolicyCache(maxEntries) })
+}
+
+// WithTracing records a TraceEvent for every evaluation step in the
+// answers this API produces (audit logs, cmd/eaclint --explain).
+// Tracing is off by default: the Yes/No fast path then performs no
+// trace bookkeeping at all. A single request can opt in instead by
+// setting Request.Trace.
+func WithTracing() Option {
+	return optionFunc(func(a *API) { a.trace = true })
 }
 
 // WithValues installs the runtime value provider that resolves '@name'
@@ -107,19 +119,58 @@ func (a *API) InvalidateCache() {
 // object (the paper's gaa_get_object_policy_info): system-wide EACLs
 // first, then local ones, with the composition mode taken from the
 // system-wide policy. Results are cached when the API was built with
-// WithPolicyCache.
+// WithPolicyCache; a cache hit is lock-free, and concurrent misses for
+// the same (object, revision) compose the policy once (singleflight).
 func (a *API) GetObjectPolicyInfo(object string, system, local []PolicySource) (*Policy, error) {
-	var revision string
-	if a.cache != nil {
-		var err error
-		revision, err = revisionKey(object, system, local)
+	if a.cache == nil {
+		return a.composePolicy(object, system, local)
+	}
+	// Hit path: compare each source's revision against the one recorded
+	// at composition time, element-wise. No revision key is built and
+	// each source's Revision is consulted exactly once.
+	shard, e := a.cache.entryFor(object)
+	if e != nil && e.nsys == len(system) && e.nloc == len(local) {
+		ok, err := e.fresh(object, system, local)
 		if err != nil {
 			return nil, fmt.Errorf("policy revision for %q: %w", object, err)
 		}
-		if p, ok := a.cache.get(object, revision); ok {
-			return p, nil
+		if ok {
+			shard.recordHit(e)
+			return e.policy, nil
 		}
 	}
+	shard.recordMiss()
+
+	// Miss path (rare): collect the revisions — at most one extra
+	// Revision call per source — and coalesce concurrent compositions
+	// of the same (object, revisions) through the flight group.
+	revs := make([]string, 0, len(system)+len(local))
+	var key strings.Builder
+	key.WriteString(object)
+	for _, srcs := range [2][]PolicySource{system, local} {
+		for _, src := range srcs {
+			r, err := src.Revision(object)
+			if err != nil {
+				return nil, fmt.Errorf("policy revision for %q: %w", object, err)
+			}
+			revs = append(revs, r)
+			key.WriteByte(0x1f)
+			key.WriteString(r)
+		}
+	}
+	return a.cache.flights.do(key.String(), func() (*Policy, error) {
+		p, err := a.composePolicy(object, system, local)
+		if err != nil {
+			return nil, err
+		}
+		a.cache.put(object, revs, len(system), len(local), p)
+		return p, nil
+	})
+}
+
+// composePolicy reads every source and builds the composed policy (the
+// uncached retrieval-and-translation step of section 6, step 2a).
+func (a *API) composePolicy(object string, system, local []PolicySource) (*Policy, error) {
 	var sysEACLs, locEACLs []*eacl.EACL
 	for _, s := range system {
 		es, err := s.Policies(object)
@@ -135,11 +186,41 @@ func (a *API) GetObjectPolicyInfo(object string, system, local []PolicySource) (
 		}
 		locEACLs = append(locEACLs, es...)
 	}
-	p := NewPolicy(object, sysEACLs, locEACLs)
-	if a.cache != nil {
-		a.cache.put(object, revision, p)
+	return NewPolicy(object, sysEACLs, locEACLs), nil
+}
+
+// evalState is the pooled per-request scratch space of the decision
+// hot path: the phase-local Request copy (replacing a heap clone per
+// phase) and the deciding-entry buffer. Pooling it makes a
+// trace-disabled grant on a cached policy allocation-free.
+//
+// Evaluators receive a pointer to the pooled Request copy and must not
+// retain it beyond the Evaluate call (they may retain the ParamList,
+// which is never mutated in place).
+type evalState struct {
+	req      Request
+	deciders []decidingEntry
+}
+
+var statePool = sync.Pool{New: func() any { return new(evalState) }}
+
+func (a *API) getState(req *Request) *evalState {
+	st := statePool.Get().(*evalState)
+	st.req = *req
+	st.req.Trace = a.trace || req.Trace
+	if st.req.Time.IsZero() {
+		st.req.Time = a.clock()
 	}
-	return p, nil
+	return st
+}
+
+func putState(st *evalState) {
+	st.req = Request{}
+	for i := range st.deciders {
+		st.deciders[i] = decidingEntry{}
+	}
+	st.deciders = st.deciders[:0]
+	statePool.Put(st)
 }
 
 // CheckAuthorization is phase 1 (the paper's gaa_check_authorization):
@@ -150,16 +231,27 @@ func (a *API) GetObjectPolicyInfo(object string, system, local []PolicySource) (
 // conjunction of the pre-condition result and the request-result
 // outcomes.
 func (a *API) CheckAuthorization(ctx context.Context, p *Policy, req *Request) (*Answer, error) {
-	if p == nil {
-		return nil, fmt.Errorf("nil policy")
+	ans := new(Answer)
+	if err := a.CheckAuthorizationInto(ctx, p, req, ans); err != nil {
+		return nil, err
 	}
-	r := req.clone()
-	if r.Time.IsZero() {
-		r.Time = a.clock()
-	}
-	res, deciders := a.evaluatePolicy(ctx, p, r)
+	return ans, nil
+}
 
-	ans := &Answer{
+// CheckAuthorizationInto is CheckAuthorization writing into a
+// caller-supplied Answer, the zero-allocation entry point for servers
+// that reuse a per-connection Answer: with tracing disabled, a grant
+// or deny on a cached policy allocates nothing. Any previous contents
+// of ans are overwritten.
+func (a *API) CheckAuthorizationInto(ctx context.Context, p *Policy, req *Request, ans *Answer) error {
+	if p == nil {
+		return fmt.Errorf("nil policy")
+	}
+	st := a.getState(req)
+	r := &st.req
+	res := a.evaluatePolicy(ctx, p, r, st)
+
+	*ans = Answer{
 		Decision:    res.decision,
 		Applicable:  res.applicable,
 		Unevaluated: res.unevaluated,
@@ -169,18 +261,27 @@ func (a *API) CheckAuthorization(ctx context.Context, p *Policy, req *Request) (
 
 	// Request-result conditions see the decision.
 	r.Decision = ans.Decision
-	for _, d := range deciders {
-		rr := d.entry.Block(eacl.BlockRequestResult)
-		dec, trace := a.evaluateBlock(ctx, d.source, d.entry.Line, rr, r)
-		ans.Trace = append(ans.Trace, trace...)
-		if len(rr) > 0 {
+	for _, d := range st.deciders {
+		dec, evaluated := a.evaluateEntryBlock(ctx, d.source, d.entry, eacl.BlockRequestResult, r, &ans.Trace)
+		if evaluated {
 			ans.Decision = Conjoin(ans.Decision, dec)
 		}
 		// Later phases enforce the deciding entries' mid/post blocks.
-		ans.Mid = append(ans.Mid, d.entry.Block(eacl.BlockMid)...)
-		ans.Post = append(ans.Post, d.entry.Block(eacl.BlockPost)...)
+		appendBlock(&ans.Mid, d.entry, eacl.BlockMid)
+		appendBlock(&ans.Post, d.entry, eacl.BlockPost)
 	}
-	return ans, nil
+	putState(st)
+	return nil
+}
+
+// appendBlock appends the entry's conditions of the given block to
+// *dst, allocating only when the block is non-empty.
+func appendBlock(dst *[]eacl.Condition, entry *eacl.Entry, b eacl.Block) {
+	for i := range entry.Conditions {
+		if entry.Conditions[i].Block == b {
+			*dst = append(*dst, entry.Conditions[i])
+		}
+	}
 }
 
 // ExecutionControl is phase 2 (the paper's gaa_execution_control): it
@@ -193,13 +294,13 @@ func (a *API) ExecutionControl(ctx context.Context, ans *Answer, req *Request, u
 	if len(ans.Mid) == 0 {
 		return Yes, nil
 	}
-	r := req.clone()
-	if r.Time.IsZero() {
-		r.Time = a.clock()
-	}
+	st := a.getState(req)
+	r := &st.req
 	r.Decision = ans.Decision
 	r.Params = r.Params.With(usage...)
-	return a.evaluateBlock(ctx, "mid", 0, ans.Mid, r)
+	dec, trace := a.evaluateBlock(ctx, "mid", 0, ans.Mid, r)
+	putState(st)
+	return dec, trace
 }
 
 // PostExecutionActions is phase 3 (the paper's
@@ -210,10 +311,8 @@ func (a *API) PostExecutionActions(ctx context.Context, ans *Answer, req *Reques
 	if len(ans.Post) == 0 {
 		return Yes, nil
 	}
-	r := req.clone()
-	if r.Time.IsZero() {
-		r.Time = a.clock()
-	}
+	st := a.getState(req)
+	r := &st.req
 	r.Decision = ans.Decision
 	r.OpStatus = opStatus
 	r.Params = r.Params.With(Param{
@@ -221,5 +320,7 @@ func (a *API) PostExecutionActions(ctx context.Context, ans *Answer, req *Reques
 		Authority: AuthorityAny,
 		Value:     opStatus.String(),
 	})
-	return a.evaluateBlock(ctx, "post", 0, ans.Post, r)
+	dec, trace := a.evaluateBlock(ctx, "post", 0, ans.Post, r)
+	putState(st)
+	return dec, trace
 }

@@ -90,7 +90,7 @@ post_cond_record local on:any/done
 }
 
 func TestExecutionControlEvaluatesMidConditions(t *testing.T) {
-	a := New()
+	a := New(WithTracing())
 	a.RegisterFunc("quota", AuthorityAny, func(_ context.Context, c eacl.Condition, r *Request) Outcome {
 		// Tiny quota language for the test: "cpu_ms<=N".
 		if c.Value == "cpu_ms<=50" {

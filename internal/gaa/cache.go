@@ -1,94 +1,242 @@
 package gaa
 
 import (
-	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // CacheStats reports policy-cache effectiveness (experiment E4).
+// Counters are monotonic for the lifetime of the API; invalidation
+// does not reset them.
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
 }
 
 // policyCache caches composed policies per object, keyed by the
 // concatenated revisions of the contributing sources. This implements
 // the paper's section 9 future work: "caching of the retrieved and
 // translated policies for later reuse by subsequent requests".
+//
+// The cache is a read-mostly design built for the authorization hot
+// path: entries live in per-shard maps published through an
+// atomic.Pointer, so a cache hit takes no lock at all — readers load
+// the current map snapshot, look up the entry, and stamp its recency
+// with one atomic store. Writers (misses, evictions, invalidation)
+// serialize on a per-shard mutex and publish a copied map
+// (copy-on-write); with miss coalescing (see flightGroup) write churn
+// is one copy per (object, revision) transition, not per request.
+//
+// Eviction is least-recently-used within a shard: every hit stamps the
+// entry with a per-shard logical clock, and a full shard evicts the
+// entry with the oldest stamp.
 type policyCache struct {
-	mu      sync.Mutex
-	entries map[string]cacheEntry
-	stats   CacheStats
-	max     int
+	perShard  int
+	shardMask uint32
+	evictions atomic.Uint64
+	shards    []cacheShard
+	flights   flightGroup
+}
+
+type cacheShard struct {
+	m  atomic.Pointer[map[string]*cacheEntry]
+	mu sync.Mutex // writers only: put, evict, invalidate
+
+	// Per-shard counters keep hit accounting off a single shared cache
+	// line under concurrent load; CacheStats sums them.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	clock  atomic.Uint64
+	_      [64]byte // pad shards apart
 }
 
 type cacheEntry struct {
-	policy   *Policy
-	revision string
+	policy *Policy
+	// revs holds the per-source revision strings at composition time,
+	// system sources first. Validation compares them one by one — no
+	// joined revision key is ever built on the hit path.
+	revs []string
+	// nsys/nloc record how many system and local sources contributed,
+	// so revisions cannot alias across source levels.
+	nsys, nloc int
+	// used is the shard-clock stamp of the last hit (LRU recency).
+	used atomic.Uint64
 }
 
 func newPolicyCache(maxEntries int) *policyCache {
 	if maxEntries <= 0 {
 		maxEntries = 1024
 	}
-	return &policyCache{entries: make(map[string]cacheEntry), max: maxEntries}
-}
-
-func (c *policyCache) get(object, revision string) (*Policy, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[object]
-	if !ok || e.revision != revision {
-		c.stats.Misses++
-		return nil, false
+	// Small caches (tests, tiny deployments) get one shard with exact
+	// LRU; production sizes spread over 16 shards to keep writer
+	// serialization off the hot path.
+	shards := 1
+	if maxEntries >= 64 {
+		shards = 16
 	}
-	c.stats.Hits++
-	return e.policy, true
-}
-
-func (c *policyCache) put(object, revision string, p *Policy) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.entries) >= c.max {
-		// Simple bounded cache: drop everything when full. Policy sets
-		// are small; the paper's workload touches a handful of objects.
-		c.entries = make(map[string]cacheEntry, c.max)
+	c := &policyCache{
+		perShard:  maxEntries / shards,
+		shardMask: uint32(shards - 1),
+		shards:    make([]cacheShard, shards),
 	}
-	c.entries[object] = cacheEntry{policy: p, revision: revision}
+	for i := range c.shards {
+		m := make(map[string]*cacheEntry)
+		c.shards[i].m.Store(&m)
+	}
+	c.flights.m = make(map[string]*flightCall)
+	return c
 }
 
+// shardFor hashes the object name (FNV-1a) onto a shard.
+func (c *policyCache) shardFor(object string) *cacheShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(object); i++ {
+		h ^= uint32(object[i])
+		h *= prime32
+	}
+	return &c.shards[h&c.shardMask]
+}
+
+// entryFor returns the shard and current entry (nil if absent) for an
+// object. Lock-free; the caller validates revisions and reports the
+// outcome through recordHit/recordMiss.
+func (c *policyCache) entryFor(object string) (*cacheShard, *cacheEntry) {
+	s := c.shardFor(object)
+	return s, (*s.m.Load())[object]
+}
+
+func (s *cacheShard) recordHit(e *cacheEntry) {
+	e.used.Store(s.clock.Add(1))
+	s.hits.Add(1)
+}
+
+func (s *cacheShard) recordMiss() {
+	s.misses.Add(1)
+}
+
+// put publishes a freshly composed policy, evicting the least-recently
+// used entry when the shard is full.
+func (c *policyCache) put(object string, revs []string, nsys, nloc int, p *Policy) {
+	s := c.shardFor(object)
+	e := &cacheEntry{policy: p, revs: revs, nsys: nsys, nloc: nloc}
+	e.used.Store(s.clock.Add(1))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.m.Load()
+	var (
+		victim     string
+		haveVictim bool
+	)
+	if _, exists := old[object]; !exists && len(old) >= c.perShard {
+		var victimUsed uint64
+		for k, en := range old {
+			if u := en.used.Load(); !haveVictim || u < victimUsed {
+				victim, victimUsed, haveVictim = k, u, true
+			}
+		}
+		c.evictions.Add(1)
+	}
+	next := make(map[string]*cacheEntry, len(old)+1)
+	for k, en := range old {
+		if haveVictim && k == victim {
+			continue
+		}
+		next[k] = en
+	}
+	next[object] = e
+	s.m.Store(&next)
+}
+
+// invalidate drops every cached policy; counters are preserved.
 func (c *policyCache) invalidate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]cacheEntry)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		m := make(map[string]*cacheEntry)
+		s.m.Store(&m)
+		s.mu.Unlock()
+	}
 }
 
+// snapshot sums the per-shard counters. Each counter is monotonic, so
+// successive snapshots never move backwards.
 func (c *policyCache) snapshot() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := CacheStats{Evictions: c.evictions.Load()}
+	for i := range c.shards {
+		st.Hits += c.shards[i].hits.Load()
+		st.Misses += c.shards[i].misses.Load()
+	}
+	return st
 }
 
-// revisionKey concatenates source revisions for an object.
-func revisionKey(object string, system, local []PolicySource) (string, error) {
-	var b strings.Builder
-	for _, s := range system {
-		r, err := s.Revision(object)
-		if err != nil {
-			return "", err
-		}
-		b.WriteString("s:")
-		b.WriteString(r)
-		b.WriteByte('|')
+// len reports the total number of cached entries (tests, diagnostics).
+func (c *policyCache) len() int {
+	n := 0
+	for i := range c.shards {
+		n += len(*c.shards[i].m.Load())
 	}
-	for _, s := range local {
-		r, err := s.Revision(object)
-		if err != nil {
-			return "", err
-		}
-		b.WriteString("l:")
-		b.WriteString(r)
-		b.WriteByte('|')
+	return n
+}
+
+// flightGroup coalesces concurrent cache misses for the same
+// (object, revision): the first caller composes the policy, the rest
+// wait for its result instead of re-reading and re-translating the
+// sources (singleflight).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg     sync.WaitGroup
+	policy *Policy
+	err    error
+}
+
+// do runs fn once per key among concurrent callers and hands every
+// caller the same result.
+func (g *flightGroup) do(key string, fn func() (*Policy, error)) (*Policy, error) {
+	g.mu.Lock()
+	if fc, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		fc.wg.Wait()
+		return fc.policy, fc.err
 	}
-	return b.String(), nil
+	fc := &flightCall{}
+	fc.wg.Add(1)
+	g.m[key] = fc
+	g.mu.Unlock()
+
+	fc.policy, fc.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	fc.wg.Done()
+	return fc.policy, fc.err
+}
+
+// fresh reports whether the entry's recorded revisions still match the
+// sources, comparing element-wise (system first, then local) with no
+// key construction. It stops at the first stale source.
+func (e *cacheEntry) fresh(object string, system, local []PolicySource) (bool, error) {
+	for i, src := range system {
+		r, err := src.Revision(object)
+		if err != nil || r != e.revs[i] {
+			return false, err
+		}
+	}
+	for i, src := range local {
+		r, err := src.Revision(object)
+		if err != nil || r != e.revs[len(system)+i] {
+			return false, err
+		}
+	}
+	return true, nil
 }

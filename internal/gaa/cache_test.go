@@ -2,7 +2,12 @@ package gaa
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"gaaapi/internal/eacl"
 )
 
 func TestPolicyCacheHitsAndMisses(t *testing.T) {
@@ -107,14 +112,117 @@ func TestCacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c := a.cache; len(c.entries) > 4 {
-		t.Errorf("cache grew to %d entries, bound is 4", len(c.entries))
+	if n := a.cache.len(); n > 4 {
+		t.Errorf("cache grew to %d entries, bound is 4", n)
+	}
+	if st := a.CacheStats(); st.Evictions == 0 {
+		t.Error("bounded cache under churn reported zero evictions")
 	}
 }
 
 func TestPolicyCacheDefaultSize(t *testing.T) {
 	c := newPolicyCache(0)
-	if c.max != 1024 {
-		t.Errorf("default max = %d, want 1024", c.max)
+	if got := c.perShard * len(c.shards); got != 1024 {
+		t.Errorf("default capacity = %d, want 1024", got)
 	}
 }
+
+// TestCacheLRUEviction verifies real least-recently-used eviction: the
+// untouched entry goes, the recently hit entry stays.
+func TestCacheLRUEviction(t *testing.T) {
+	a := New(WithPolicyCache(2)) // small cache: one shard, exact LRU
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		t.Fatal(err)
+	}
+	sys := []PolicySource{src}
+	for _, obj := range []string{"/a", "/b"} {
+		if _, err := a.GetObjectPolicyInfo(obj, sys, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch /a so /b becomes the least recently used.
+	if _, err := a.GetObjectPolicyInfo("/a", sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting /c must evict /b, not /a.
+	if _, err := a.GetObjectPolicyInfo("/c", sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := a.CacheStats()
+	if before.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", before.Evictions)
+	}
+	if _, err := a.GetObjectPolicyInfo("/a", sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := a.CacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("lookup of recently used /a missed after eviction: %+v -> %+v", before, after)
+	}
+	if a.cache.len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", a.cache.len())
+	}
+}
+
+// TestCacheMissCoalescing verifies singleflight: concurrent misses for
+// one object compose the policy once and share the result pointer.
+func TestCacheMissCoalescing(t *testing.T) {
+	a := New(WithPolicyCache(16))
+	src := &countingSource{text: "pos_access_right apache *"}
+	gate := make(chan struct{})
+	src.gate = gate
+	sys := []PolicySource{src}
+
+	const workers = 8
+	results := make([]*Policy, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := a.GetObjectPolicyInfo("/x", sys, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = p
+		}(i)
+	}
+	// Let every worker reach the (blocked) composition before the
+	// first one finishes.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := src.calls.Load(); n != 1 {
+		t.Errorf("sources consulted %d times for 8 concurrent misses, want 1 (singleflight)", n)
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Error("coalesced misses returned different policy pointers")
+		}
+	}
+}
+
+// countingSource counts Policies calls and can block them on a gate to
+// hold several requests in the miss window at once.
+type countingSource struct {
+	text  string
+	gate  chan struct{}
+	calls atomic.Int64
+}
+
+func (c *countingSource) Policies(string) ([]*eacl.EACL, error) {
+	c.calls.Add(1)
+	if c.gate != nil {
+		<-c.gate
+	}
+	e, err := eacl.ParseString(c.text)
+	if err != nil {
+		return nil, err
+	}
+	return []*eacl.EACL{e}, nil
+}
+
+func (c *countingSource) Revision(string) (string, error) { return "static", nil }

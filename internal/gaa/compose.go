@@ -47,41 +47,52 @@ func (p *Policy) EACLs() []*eacl.EACL {
 	return out
 }
 
-// levelResult combines per-EACL results of one level (system or local)
-// as a conjunction: "To evaluate several separately specified local (or
+// levelAccum folds per-EACL results of one level (system or local) as
+// a conjunction: "To evaluate several separately specified local (or
 // system-wide) policies, we take a conjunction of the policies" (paper
-// section 2.1). EACLs with no applicable entry are neutral.
-func combineLevel(results []evalResult) evalResult {
-	var combined evalResult
-	combined.decision = Maybe // uncertain until something applies
-	var (
-		dec              Decision
-		deniedUncurable  bool
-		deniedChallenged string
-	)
-	for _, r := range results {
-		combined.trace = append(combined.trace, r.trace...)
-		if !r.applicable {
-			continue
-		}
-		combined.applicable = true
-		dec = Conjoin(dec, r.decision)
-		combined.unevaluated = append(combined.unevaluated, r.unevaluated...)
-		if r.decision == No {
-			if r.challenge == "" {
-				deniedUncurable = true
-			} else if deniedChallenged == "" {
-				deniedChallenged = r.challenge
-			}
+// section 2.1). EACLs with no applicable entry are neutral. The
+// accumulator lives on the evaluatePolicy stack so a level with no
+// traces and no unevaluated conditions costs nothing.
+type levelAccum struct {
+	applicable       bool
+	dec              Decision
+	deniedUncurable  bool
+	deniedChallenged string
+	trace            []TraceEvent
+	unevaluated      []eacl.Condition
+}
+
+func (l *levelAccum) add(r evalResult) {
+	l.trace = append(l.trace, r.trace...)
+	if !r.applicable {
+		return
+	}
+	l.applicable = true
+	l.dec = Conjoin(l.dec, r.decision)
+	l.unevaluated = append(l.unevaluated, r.unevaluated...)
+	if r.decision == No {
+		if r.challenge == "" {
+			l.deniedUncurable = true
+		} else if l.deniedChallenged == "" {
+			l.deniedChallenged = r.challenge
 		}
 	}
-	if combined.applicable {
-		combined.decision = dec
+}
+
+func (l *levelAccum) result() evalResult {
+	combined := evalResult{
+		decision:    Maybe, // uncertain until something applies
+		applicable:  l.applicable,
+		trace:       l.trace,
+		unevaluated: l.unevaluated,
+	}
+	if l.applicable {
+		combined.decision = l.dec
 	}
 	// A challenge is only meaningful if authenticating could cure every
 	// deny at this level.
-	if !deniedUncurable {
-		combined.challenge = deniedChallenged
+	if !l.deniedUncurable {
+		combined.challenge = l.deniedChallenged
 	}
 	return combined
 }
@@ -147,37 +158,37 @@ func composeLevels(mode eacl.CompositionMode, sys, loc evalResult, sysExists boo
 	return out
 }
 
-// evaluatePolicy runs the scan over both levels, composes, and returns
-// the combined result plus the deciding entries of every applicable
-// level (their request-result/mid/post blocks belong to the answer).
-func (a *API) evaluatePolicy(ctx context.Context, p *Policy, req *Request) (evalResult, []decidingEntry) {
-	var (
-		sysResults, locResults []evalResult
-		deciders               []decidingEntry
-	)
+// evaluatePolicy runs the scan over both levels, composes, and leaves
+// the deciding entries of every applicable level in st.deciders (their
+// request-result/mid/post blocks belong to the answer). Results are
+// folded into stack accumulators as each EACL is scanned — no
+// intermediate per-level result slices.
+func (a *API) evaluatePolicy(ctx context.Context, p *Policy, req *Request, st *evalState) evalResult {
+	var sysAcc levelAccum
 	for _, e := range p.System {
 		r := a.evaluateEACL(ctx, e, req)
-		sysResults = append(sysResults, r)
+		sysAcc.add(r)
 		if r.applicable && r.entry != nil {
-			deciders = append(deciders, decidingEntry{entry: r.entry, source: r.source})
+			st.deciders = append(st.deciders, decidingEntry{entry: r.entry, source: r.source})
 		}
 	}
-	sys := combineLevel(sysResults)
+	sys := sysAcc.result()
 	sysExists := len(p.System) > 0
 
 	var loc evalResult
 	loc.decision = Maybe
 	if !(p.Mode == eacl.ModeStop && sysExists) {
+		var locAcc levelAccum
 		for _, e := range p.Local {
 			r := a.evaluateEACL(ctx, e, req)
-			locResults = append(locResults, r)
+			locAcc.add(r)
 			if r.applicable && r.entry != nil {
-				deciders = append(deciders, decidingEntry{entry: r.entry, source: r.source})
+				st.deciders = append(st.deciders, decidingEntry{entry: r.entry, source: r.source})
 			}
 		}
-		loc = combineLevel(locResults)
+		loc = locAcc.result()
 	}
-	return composeLevels(p.Mode, sys, loc, sysExists), deciders
+	return composeLevels(p.Mode, sys, loc, sysExists)
 }
 
 // decidingEntry is an entry that fired (or went uncertain) during the

@@ -31,28 +31,35 @@ func TestGetObjectPolicyInfoSourceErrors(t *testing.T) {
 	}
 }
 
-func TestRevisionKeyIncludesBothLevels(t *testing.T) {
+// A cached entry must go stale when either source level changes — the
+// per-source revision comparison covers local sources too.
+func TestCacheRevalidatesBothLevels(t *testing.T) {
 	m1, m2 := NewMemorySource(), NewMemorySource()
 	if err := m1.AddPolicy("*", "pos_access_right a *"); err != nil {
 		t.Fatal(err)
 	}
-	k1, err := revisionKey("/x", []PolicySource{m1}, []PolicySource{m2})
-	if err != nil {
+	a := New(WithPolicyCache(4))
+	sys, loc := []PolicySource{m1}, []PolicySource{m2}
+	if _, err := a.GetObjectPolicyInfo("/x", sys, loc); err != nil {
 		t.Fatal(err)
 	}
 	if err := m2.AddPolicy("*", "neg_access_right a *"); err != nil {
 		t.Fatal(err)
 	}
-	k2, err := revisionKey("/x", []PolicySource{m1}, []PolicySource{m2})
+	p, err := a.GetObjectPolicyInfo("/x", sys, loc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k1 == k2 {
-		t.Error("local-source change did not alter the revision key")
+	if len(p.Local) != 1 {
+		t.Error("local-source change did not invalidate the cached policy")
 	}
+	if st := a.CacheStats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (initial + local revision change)", st.Misses)
+	}
+	// A Revision error during hit validation surfaces to the caller.
 	boom := errors.New("boom")
-	if _, err := revisionKey("/x", nil, []PolicySource{failingSource{boom}}); !errors.Is(err, boom) {
-		t.Errorf("revisionKey error = %v", err)
+	if _, err := a.GetObjectPolicyInfo("/x", sys, []PolicySource{failingSource{boom}}); !errors.Is(err, boom) {
+		t.Errorf("revision error = %v, want boom", err)
 	}
 }
 

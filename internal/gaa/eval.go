@@ -22,6 +22,11 @@ type evalResult struct {
 // rights and returns the first firing entry's decision (see the package
 // comment for the full semantics). Request-result conditions are NOT
 // evaluated here: they run once the composed decision is known.
+//
+// The pre-condition block is filtered inline from entry.Conditions
+// (rather than materialized via Entry.Block) and TraceEvents are only
+// recorded when req.Trace is set, so the common Yes/No path performs
+// no per-entry allocation.
 func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) evalResult {
 	res := evalResult{source: e.Source}
 	for i := range e.Entries {
@@ -33,12 +38,17 @@ func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) eval
 			sawNo  bool
 			maybes []eacl.Condition
 		)
-		pre := entry.Block(eacl.BlockPre)
-		for _, cond := range pre {
+		for ci := range entry.Conditions {
+			cond := entry.Conditions[ci]
+			if cond.Block != eacl.BlockPre {
+				continue
+			}
 			out := a.evaluateCondition(ctx, cond, req)
-			res.trace = append(res.trace, TraceEvent{
-				Source: e.Source, EntryLine: entry.Line, Cond: cond, Outcome: out,
-			})
+			if req.Trace {
+				res.trace = append(res.trace, TraceEvent{
+					Source: e.Source, EntryLine: entry.Line, Cond: cond, Outcome: out,
+				})
+			}
 			switch out.Result {
 			case No:
 				if out.classOrDefault() == ClassSelector || entry.Right.Sign == eacl.Neg {
@@ -51,10 +61,12 @@ func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) eval
 					res.applicable = true
 					res.entry = entry
 					res.challenge = out.Challenge
-					res.trace = append(res.trace, TraceEvent{
-						Source: e.Source, EntryLine: entry.Line,
-						Note: fmt.Sprintf("requirement failed: %s", out.Detail),
-					})
+					if req.Trace {
+						res.trace = append(res.trace, TraceEvent{
+							Source: e.Source, EntryLine: entry.Line,
+							Note: fmt.Sprintf("requirement failed: %s", out.Detail),
+						})
+					}
 					return res
 				}
 			case Maybe:
@@ -71,9 +83,11 @@ func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) eval
 			}
 		}
 		if sawNo {
-			res.trace = append(res.trace, TraceEvent{
-				Source: e.Source, EntryLine: entry.Line, Note: "entry inapplicable",
-			})
+			if req.Trace {
+				res.trace = append(res.trace, TraceEvent{
+					Source: e.Source, EntryLine: entry.Line, Note: "entry inapplicable",
+				})
+			}
 			continue
 		}
 		if len(maybes) > 0 {
@@ -81,10 +95,12 @@ func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) eval
 			res.applicable = true
 			res.entry = entry
 			res.unevaluated = maybes
-			res.trace = append(res.trace, TraceEvent{
-				Source: e.Source, EntryLine: entry.Line,
-				Note: fmt.Sprintf("entry uncertain: %d condition(s) unevaluated", len(maybes)),
-			})
+			if req.Trace {
+				res.trace = append(res.trace, TraceEvent{
+					Source: e.Source, EntryLine: entry.Line,
+					Note: fmt.Sprintf("entry uncertain: %d condition(s) unevaluated", len(maybes)),
+				})
+			}
 			return res
 		}
 		// All pre-conditions met: the entry fires.
@@ -92,14 +108,18 @@ func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) eval
 		res.entry = entry
 		if entry.Right.Sign == eacl.Pos {
 			res.decision = Yes
-			res.trace = append(res.trace, TraceEvent{
-				Source: e.Source, EntryLine: entry.Line, Note: "entry fired: grant",
-			})
+			if req.Trace {
+				res.trace = append(res.trace, TraceEvent{
+					Source: e.Source, EntryLine: entry.Line, Note: "entry fired: grant",
+				})
+			}
 		} else {
 			res.decision = No
-			res.trace = append(res.trace, TraceEvent{
-				Source: e.Source, EntryLine: entry.Line, Note: "entry fired: deny",
-			})
+			if req.Trace {
+				res.trace = append(res.trace, TraceEvent{
+					Source: e.Source, EntryLine: entry.Line, Note: "entry fired: deny",
+				})
+			}
 		}
 		return res
 	}
@@ -149,23 +169,59 @@ func (a *API) evaluateCondition(ctx context.Context, cond eacl.Condition, req *R
 
 // evaluateBlock evaluates an ordered condition slice (request-result,
 // mid or post blocks) and returns the conjunction of the outcomes plus
-// the trace. Used by the request-result, execution-control and
-// post-execution phases where every condition runs (no entry-selection
-// short-circuit).
+// the trace (nil unless req.Trace is set). Used by the request-result,
+// execution-control and post-execution phases where every condition
+// runs (no entry-selection short-circuit).
 func (a *API) evaluateBlock(ctx context.Context, source string, entryLine int, conds []eacl.Condition, req *Request) (Decision, []TraceEvent) {
 	if len(conds) == 0 {
 		return Yes, nil
 	}
 	var (
 		combined Decision
-		trace    = make([]TraceEvent, 0, len(conds))
+		trace    []TraceEvent
 	)
+	if req.Trace {
+		trace = make([]TraceEvent, 0, len(conds))
+	}
 	for _, cond := range conds {
 		out := a.evaluateCondition(ctx, cond, req)
-		trace = append(trace, TraceEvent{
-			Source: source, EntryLine: entryLine, Cond: cond, Outcome: out,
-		})
+		if req.Trace {
+			trace = append(trace, TraceEvent{
+				Source: source, EntryLine: entryLine, Cond: cond, Outcome: out,
+			})
+		}
 		combined = Conjoin(combined, out.Result)
 	}
 	return combined, trace
+}
+
+// evaluateEntryBlock evaluates the conditions of one block of an entry
+// (filtered inline, no intermediate slice) with the conjunction
+// appended-trace protocol of evaluateBlock. The second return reports
+// whether the entry had any condition in the block; an empty block
+// yields (Yes, false) so callers skip the conjunction, matching the
+// original Entry.Block + evaluateBlock behaviour.
+func (a *API) evaluateEntryBlock(ctx context.Context, source string, entry *eacl.Entry, b eacl.Block, req *Request, trace *[]TraceEvent) (Decision, bool) {
+	var (
+		combined  Decision
+		evaluated bool
+	)
+	for ci := range entry.Conditions {
+		cond := entry.Conditions[ci]
+		if cond.Block != b {
+			continue
+		}
+		evaluated = true
+		out := a.evaluateCondition(ctx, cond, req)
+		if req.Trace {
+			*trace = append(*trace, TraceEvent{
+				Source: source, EntryLine: entry.Line, Cond: cond, Outcome: out,
+			})
+		}
+		combined = Conjoin(combined, out.Result)
+	}
+	if !evaluated {
+		return Yes, false
+	}
+	return combined, true
 }

@@ -40,7 +40,8 @@ func (l *actionLog) all() []string {
 func newTestAPI(t *testing.T) (*API, *actionLog) {
 	t.Helper()
 	log := &actionLog{}
-	a := New()
+	// Tracing on: the semantics tests assert full evaluation traces.
+	a := New(WithTracing())
 	a.RegisterFunc("sel_yes", AuthorityAny, func(context.Context, eacl.Condition, *Request) Outcome {
 		return MetOutcome(ClassSelector, "sel_yes")
 	})

@@ -70,7 +70,11 @@ func (ps ParamList) GetInt(paramType, authority string) (int64, bool) {
 
 // With returns a copy of the list with extra parameters appended. The
 // receiver is never mutated, so evaluators can safely hold references.
+// Appending nothing returns the receiver unchanged (no copy).
 func (ps ParamList) With(extra ...Param) ParamList {
+	if len(extra) == 0 {
+		return ps
+	}
 	out := make(ParamList, 0, len(ps)+len(extra))
 	out = append(out, ps...)
 	out = append(out, extra...)

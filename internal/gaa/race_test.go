@@ -1,0 +1,146 @@
+package gaa
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gaaapi/internal/eacl"
+)
+
+// TestConcurrentDecisionStress hammers one API from many goroutines
+// while policies mutate and the cache is invalidated underneath them.
+// Run under -race it proves the read-mostly design sound: no torn
+// reads (every answer is a coherent Yes/No/Maybe from some published
+// policy revision) and monotonic cache statistics.
+func TestConcurrentDecisionStress(t *testing.T) {
+	const (
+		workers = 32
+		iters   = 300
+	)
+
+	a := New(WithPolicyCache(8))
+	a.RegisterFunc("sel_yes", AuthorityAny, func(context.Context, eacl.Condition, *Request) Outcome {
+		return MetOutcome(ClassSelector, "")
+	})
+
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *\npre_cond_sel_yes local\n"); err != nil {
+		t.Fatal(err)
+	}
+	local := []PolicySource{src}
+
+	var (
+		readers sync.WaitGroup
+		aux     sync.WaitGroup
+		stop    atomic.Bool
+		grant   atomic.Uint64
+		deny    atomic.Uint64
+	)
+
+	// Readers: full decision path over a rotating set of objects, so
+	// lookups spread across cache shards and evictions fire (cache is
+	// smaller than the object set).
+	for w := 0; w < workers; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			req := NewRequest("apache", "GET /index.html")
+			var ans Answer
+			for i := 0; i < iters; i++ {
+				object := fmt.Sprintf("/obj/%d", (w+i)%16)
+				p, err := a.GetObjectPolicyInfo(object, nil, local)
+				if err != nil {
+					t.Errorf("GetObjectPolicyInfo: %v", err)
+					return
+				}
+				if err := a.CheckAuthorizationInto(context.Background(), p, req, &ans); err != nil {
+					t.Errorf("CheckAuthorizationInto: %v", err)
+					return
+				}
+				switch ans.Decision {
+				case Yes:
+					grant.Add(1)
+				case No:
+					deny.Add(1)
+				default:
+					// A torn policy read would surface as an incoherent
+					// Maybe: both published revisions decide every
+					// request.
+					t.Errorf("incoherent decision %v for %s", ans.Decision, object)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Writer: publishes additional policy entries (MemorySource.Add
+	// appends), bumping the source revision each time so cached entries
+	// keep going stale. Bounded: each append also grows every
+	// subsequently composed policy.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		texts := []string{
+			"neg_access_right apache *\npre_cond_sel_yes local\n",
+			"pos_access_right apache *\npre_cond_sel_yes local\n",
+		}
+		for i := 0; i < 64 && !stop.Load(); i++ {
+			if err := src.AddPolicy("*", texts[i%2]); err != nil {
+				t.Errorf("AddPolicy: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Invalidator: concurrently drops the whole cache.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for !stop.Load() {
+			a.InvalidateCache()
+		}
+	}()
+
+	// Stats poller: counters must never move backwards while readers,
+	// the writer, and the invalidator run.
+	aux.Add(1)
+	statsErr := make(chan error, 1)
+	go func() {
+		defer aux.Done()
+		var last CacheStats
+		for !stop.Load() {
+			cur := a.CacheStats()
+			if cur.Hits < last.Hits || cur.Misses < last.Misses || cur.Evictions < last.Evictions {
+				select {
+				case statsErr <- fmt.Errorf("stats moved backwards: %+v -> %+v", last, cur):
+				default:
+				}
+				return
+			}
+			last = cur
+		}
+	}()
+
+	// Wait for the readers, then release the background loops.
+	readers.Wait()
+	stop.Store(true)
+	aux.Wait()
+
+	select {
+	case err := <-statsErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if total := grant.Load() + deny.Load(); total != workers*iters {
+		t.Errorf("decisions = %d, want %d", total, workers*iters)
+	}
+	st := a.CacheStats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("cache saw no traffic")
+	}
+	t.Logf("grants=%d denies=%d stats=%+v", grant.Load(), deny.Load(), st)
+}

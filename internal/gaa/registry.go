@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gaaapi/internal/eacl"
 )
@@ -30,29 +31,40 @@ type regKey struct {
 }
 
 // registry stores condition evaluators with two-step lookup: exact
-// (type, authority), then (type, "*").
+// (type, authority), then (type, "*"). Lookups run once per condition
+// per request, so the map is published through an atomic pointer and
+// read without locking; registration (rare, usually at startup)
+// serializes on a mutex and publishes a copied map.
 type registry struct {
-	mu    sync.RWMutex
-	evals map[regKey]Evaluator
+	mu    sync.Mutex // writers only
+	evals atomic.Pointer[map[regKey]Evaluator]
 }
 
 func newRegistry() *registry {
-	return &registry{evals: make(map[regKey]Evaluator)}
+	r := &registry{}
+	m := make(map[regKey]Evaluator)
+	r.evals.Store(&m)
+	return r
 }
 
 func (r *registry) register(condType, defAuth string, ev Evaluator) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.evals[regKey{condType, defAuth}] = ev
+	old := *r.evals.Load()
+	next := make(map[regKey]Evaluator, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[regKey{condType, defAuth}] = ev
+	r.evals.Store(&next)
 }
 
 func (r *registry) lookup(condType, defAuth string) (Evaluator, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if ev, ok := r.evals[regKey{condType, defAuth}]; ok {
+	m := *r.evals.Load()
+	if ev, ok := m[regKey{condType, defAuth}]; ok {
 		return ev, true
 	}
-	ev, ok := r.evals[regKey{condType, AuthorityAny}]
+	ev, ok := m[regKey{condType, AuthorityAny}]
 	return ev, ok
 }
 
@@ -63,10 +75,9 @@ func (r *registry) known(condType, defAuth string) bool {
 
 // registered returns "type authority" strings, sorted, for diagnostics.
 func (r *registry) registered() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.evals))
-	for k := range r.evals {
+	m := *r.evals.Load()
+	out := make([]string, 0, len(m))
+	for k := range m {
 		out = append(out, k.condType+" "+k.defAuth)
 	}
 	sort.Strings(out)

@@ -26,6 +26,11 @@ type Request struct {
 	// OpStatus is filled in before post-conditions run: whether the
 	// requested operation itself succeeded.
 	OpStatus Decision
+
+	// Trace requests a full evaluation trace in the Answer for this
+	// request, even on an API built without WithTracing. When neither
+	// is set, the engine records no TraceEvents at all (the fast path).
+	Trace bool
 }
 
 // NewRequest builds a request for a single right.
@@ -34,11 +39,4 @@ func NewRequest(defAuth, rightValue string, params ...Param) *Request {
 		Rights: []eacl.Right{{Sign: eacl.Pos, DefAuth: defAuth, Value: rightValue}},
 		Params: ParamList(params),
 	}
-}
-
-// clone returns a shallow copy safe for phase-local mutation (Decision,
-// OpStatus, appended params) without affecting the caller's Request.
-func (r *Request) clone() *Request {
-	cp := *r
-	return &cp
 }

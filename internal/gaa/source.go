@@ -6,8 +6,10 @@ import (
 	"io/fs"
 	"os"
 	"path"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gaaapi/internal/eacl"
 )
@@ -26,11 +28,19 @@ type PolicySource interface {
 }
 
 // MemorySource is an in-memory policy source mapping object glob
-// patterns to EACLs. It is safe for concurrent use.
+// patterns to EACLs. It is safe for concurrent use: readers load an
+// immutable snapshot through an atomic pointer (no lock, no
+// formatting), writers serialize on a mutex and publish a new
+// snapshot with a pre-formatted revision string.
 type MemorySource struct {
-	mu      sync.RWMutex
+	mu    sync.Mutex // writers only
+	state atomic.Pointer[memState]
+}
+
+type memState struct {
 	entries []memEntry
 	rev     int
+	revStr  string
 }
 
 type memEntry struct {
@@ -40,15 +50,24 @@ type memEntry struct {
 
 // NewMemorySource returns an empty in-memory source.
 func NewMemorySource() *MemorySource {
-	return &MemorySource{}
+	m := &MemorySource{}
+	m.state.Store(&memState{revStr: "mem-0"})
+	return m
 }
 
 // Add registers an EACL for every object matching pattern ('*' glob).
 func (m *MemorySource) Add(pattern string, e *eacl.EACL) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.entries = append(m.entries, memEntry{pattern: pattern, eacl: e})
-	m.rev++
+	old := m.state.Load()
+	next := &memState{
+		entries: make([]memEntry, 0, len(old.entries)+1),
+		rev:     old.rev + 1,
+	}
+	next.entries = append(next.entries, old.entries...)
+	next.entries = append(next.entries, memEntry{pattern: pattern, eacl: e})
+	next.revStr = "mem-" + strconv.Itoa(next.rev)
+	m.state.Store(next)
 }
 
 // AddPolicy parses src and registers it under pattern.
@@ -63,10 +82,9 @@ func (m *MemorySource) AddPolicy(pattern, src string) error {
 
 // Policies implements PolicySource.
 func (m *MemorySource) Policies(object string) ([]*eacl.EACL, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	st := m.state.Load()
 	var out []*eacl.EACL
-	for _, en := range m.entries {
+	for _, en := range st.entries {
 		if eacl.Glob(en.pattern, object) {
 			out = append(out, en.eacl)
 		}
@@ -74,11 +92,11 @@ func (m *MemorySource) Policies(object string) ([]*eacl.EACL, error) {
 	return out, nil
 }
 
-// Revision implements PolicySource.
+// Revision implements PolicySource. The revision string is formatted
+// once per mutation, not per request, so revision checks on the cache
+// hit path are allocation-free.
 func (m *MemorySource) Revision(string) (string, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return fmt.Sprintf("mem-%d", m.rev), nil
+	return m.state.Load().revStr, nil
 }
 
 // FileSource reads one policy file that governs every object (the

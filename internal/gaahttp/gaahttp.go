@@ -86,7 +86,10 @@ func New(cfg Config) *Guard {
 // section 6 step 2b: parameters "classified with type and authority so
 // that GAA-API routines ... could find the relevant parameters").
 func ExtractParams(rec *httpd.RequestRec) gaa.ParamList {
-	ps := gaa.ParamList{
+	// Capacity covers every fixed parameter plus the optional user, so
+	// the append below never reallocates.
+	ps := make(gaa.ParamList, 0, 9)
+	ps = append(ps, gaa.ParamList{
 		{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: rec.ClientIP},
 		{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: rec.URI},
 		{Type: gaa.ParamMethod, Authority: gaa.AuthorityAny, Value: rec.Method},
@@ -95,7 +98,7 @@ func ExtractParams(rec *httpd.RequestRec) gaa.ParamList {
 		{Type: gaa.ParamObject, Authority: gaa.AuthorityAny, Value: rec.Object()},
 		{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: strconv.Itoa(rec.InputLength)},
 		{Type: gaa.ParamHeaderCount, Authority: gaa.AuthorityAny, Value: strconv.Itoa(rec.HeaderCount)},
-	}
+	}...)
 	if rec.User != "" {
 		ps = append(ps, gaa.Param{Type: gaa.ParamUser, Authority: gaa.AuthorityAny, Value: rec.User})
 	}
