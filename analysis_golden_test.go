@@ -1,0 +1,201 @@
+package gaaapi
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"gaaapi/internal/config"
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/eacl/analysis"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+)
+
+// diagCodes returns the sorted, deduplicated diagnostic codes.
+func diagCodes(ds []analysis.Diagnostic) []string {
+	seen := map[string]bool{}
+	for _, d := range ds {
+		seen[d.Code] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shippedKnown builds the vocabulary the shipped gaa.conf declares.
+func shippedKnown(t *testing.T) func(condType, defAuth string) bool {
+	t.Helper()
+	cfg, err := config.ParseFile("policies/paper/gaa.conf")
+	if err != nil {
+		t.Fatalf("shipped gaa.conf does not parse: %v", err)
+	}
+	api := gaa.New()
+	deps := config.Deps{}
+	deps.Conditions.Threat = ids.NewManager(ids.Low)
+	deps.Conditions.Groups = groups.NewStore()
+	if err := cfg.Apply(api, deps); err != nil {
+		t.Fatalf("shipped gaa.conf does not apply: %v", err)
+	}
+	return api.Known
+}
+
+// TestShippedPoliciesAnalyzeClean runs the full analyzer catalog over
+// every policy file shipped under policies/ — the repo's own artifacts
+// must stay free of findings at any severity.
+func TestShippedPoliciesAnalyzeClean(t *testing.T) {
+	known := shippedKnown(t)
+	paths, err := filepath.Glob("policies/paper/*.eacl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped policies found")
+	}
+	a := analysis.New()
+	for _, path := range paths {
+		e, err := eacl.ParseFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		for _, d := range a.AnalyzeFile(&analysis.File{EACL: e, Known: known}) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestShippedCompositionsAnalyzeClean composes each paper scenario's
+// system + local pair and checks the composition rules stay silent.
+func TestShippedCompositionsAnalyzeClean(t *testing.T) {
+	a := analysis.New()
+	for _, scenario := range []string{"7.1", "7.2"} {
+		sys, err := eacl.ParseFile("policies/paper/system-" + scenario + ".eacl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc, err := eacl.ParseFile("policies/paper/local-" + scenario + ".eacl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := analysis.NewComposition([]*eacl.EACL{sys}, []*eacl.EACL{loc})
+		for _, d := range a.AnalyzeComposition(c) {
+			t.Errorf("scenario %s: %s", scenario, d)
+		}
+	}
+}
+
+// examplePolicyRE matches the inline policy constants every example
+// declares (const xxxPolicy = ` ... ` and quickstart's const policy).
+var examplePolicyRE = regexp.MustCompile("(?ms)^const (\\w*[pP]olicy) = `(.*?)`")
+
+// TestExamplePoliciesAnalyzeClean extracts the inline EACL text from
+// every example program and runs the analyzer over it, so the runnable
+// documentation cannot accumulate policy bugs.
+func TestExamplePoliciesAnalyzeClean(t *testing.T) {
+	dirs, err := filepath.Glob("examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	a := analysis.New()
+	total := 0
+	for _, mainPath := range dirs {
+		src, err := os.ReadFile(mainPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range examplePolicyRE.FindAllStringSubmatch(string(src), -1) {
+			name, text := m[1], m[2]
+			total++
+			e, err := eacl.ParseString(text)
+			if err != nil {
+				t.Errorf("%s %s: %v", mainPath, name, err)
+				continue
+			}
+			e.Source = mainPath + ":" + name
+			for _, d := range a.AnalyzeFile(&analysis.File{EACL: e, Known: analysis.BuiltinKnown()}) {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+	if total < 7 {
+		t.Errorf("extracted %d inline policies, want at least one per example", total)
+	}
+}
+
+// TestSeededFixturesTriggerTheirRule is the golden contract for the
+// seeded bad policies under testdata/eaclint: each fixture triggers
+// exactly the documented codes and nothing else.
+func TestSeededFixturesTriggerTheirRule(t *testing.T) {
+	a := analysis.New()
+	tests := []struct {
+		file  string
+		codes []string
+	}{
+		{"bad-regex.eacl", []string{"E001"}},
+		{"bad-cidr.eacl", []string{"E002"}},
+		{"empty-window.eacl", []string{"E004"}},
+		{"threat-contradiction.eacl", []string{"E012"}},
+		{"conflict.eacl", []string{"W004"}},
+		{"unreachable.eacl", []string{"W003"}},
+		{"subsumed.eacl", []string{"W007"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.file, func(t *testing.T) {
+			e, err := eacl.ParseFile(filepath.Join("testdata/eaclint", tt.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := a.AnalyzeFile(&analysis.File{EACL: e, Known: analysis.BuiltinKnown()})
+			got := diagCodes(ds)
+			if len(got) != len(tt.codes) {
+				t.Fatalf("codes = %v, want %v (%v)", got, tt.codes, ds)
+			}
+			for i := range got {
+				if got[i] != tt.codes[i] {
+					t.Fatalf("codes = %v, want %v", got, tt.codes)
+				}
+			}
+		})
+	}
+}
+
+// TestSeededCompositionFixtures checks the composed fixture pairs
+// trigger their documented composition codes.
+func TestSeededCompositionFixtures(t *testing.T) {
+	a := analysis.New()
+	tests := []struct {
+		prefix string
+		code   string
+	}{
+		{"stop", "W020"},
+		{"expand", "W021"},
+		{"narrow", "E020"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.prefix, func(t *testing.T) {
+			sys, err := eacl.ParseFile(filepath.Join("testdata/eaclint", tt.prefix+"-system.eacl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			loc, err := eacl.ParseFile(filepath.Join("testdata/eaclint", tt.prefix+"-local.eacl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := analysis.NewComposition([]*eacl.EACL{sys}, []*eacl.EACL{loc})
+			got := diagCodes(a.AnalyzeComposition(c))
+			if len(got) != 1 || got[0] != tt.code {
+				t.Errorf("codes = %v, want [%s]", got, tt.code)
+			}
+		})
+	}
+}

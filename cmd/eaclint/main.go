@@ -1,18 +1,29 @@
 // Command eaclint is the policy tool the paper lists as future work in
 // section 2: "an automated tool to ensure policy correctness and
 // consistency and to ease the policy specification burden on the
-// policy officer". It parses EACL files, reports static findings
-// (unreachable entries, duplicate entries, illegal blocks, unknown
-// condition types), pretty-prints the canonical form, and explains
+// policy officer". It drives the static-analysis engine in
+// internal/eacl/analysis: value-level semantic validation, glob-aware
+// flow analysis (unreachable, subsumed and conflicting entries), and
+// cross-file composition analysis, with plain-text, JSON and SARIF
+// 2.1.0 output. It also pretty-prints the canonical form and explains
 // how a hypothetical request would evaluate.
 //
 // Usage:
 //
-//	eaclint policy.eacl                 # validate against the built-in registry
-//	eaclint -config gaa.conf policy.eacl  # validate against a GAA configuration file
-//	eaclint -fmt policy.eacl            # print canonical form
+//	eaclint policy.eacl                   # analyze against the built-in registry
+//	eaclint -config gaa.conf policy.eacl  # analyze against a GAA configuration file
+//	eaclint -system sys.eacl -local loc.eacl  # composition analysis across levels
+//	eaclint -json policy.eacl             # machine-readable findings
+//	eaclint -sarif policy.eacl            # SARIF 2.1.0 for code scanning
+//	eaclint -rules W003,-W007 policy.eacl # select / disable rules by code or name
+//	eaclint -severity error policy.eacl   # drop warnings
+//	eaclint -fmt policy.eacl              # print canonical form
 //	eaclint -explain "GET /cgi-bin/phf" -param request_uri="GET /cgi-bin/phf" policy.eacl
-//	eaclint -hash /etc/passwd           # sha256 for post_cond_file_sha256
+//	eaclint -hash /etc/passwd             # sha256 for post_cond_file_sha256
+//
+// Exit codes are vet-style: 0 when no error-severity findings were
+// reported, 1 when at least one file failed to parse or an error
+// finding fired, 2 on usage errors.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"gaaapi/internal/conditions"
 	gaaconfig "gaaapi/internal/config"
 	"gaaapi/internal/eacl"
+	"gaaapi/internal/eacl/analysis"
 	"gaaapi/internal/gaa"
 	"gaaapi/internal/groups"
 	"gaaapi/internal/ids"
@@ -40,10 +52,11 @@ func main() {
 	os.Exit(code)
 }
 
-type paramFlags []string
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
 
-func (p *paramFlags) String() string { return strings.Join(*p, ",") }
-func (p *paramFlags) Set(s string) error {
+func (p *multiFlag) String() string { return strings.Join(*p, ",") }
+func (p *multiFlag) Set(s string) error {
 	*p = append(*p, s)
 	return nil
 }
@@ -51,13 +64,21 @@ func (p *paramFlags) Set(s string) error {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("eaclint", flag.ContinueOnError)
 	var (
-		format  = fs.Bool("fmt", false, "print the canonical form instead of validating")
-		explain = fs.String("explain", "", "evaluate the right \"<METHOD> <path>\" and print the trace")
-		hash    = fs.String("hash", "", "print the sha256 of a file (for post_cond_file_sha256)")
-		cfgPath = fs.String("config", "", "GAA configuration file declaring the registered routines (default: all built-ins)")
-		params  paramFlags
+		format   = fs.Bool("fmt", false, "print the canonical form instead of analyzing")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON report")
+		sarifOut = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for code scanning upload)")
+		explain  = fs.String("explain", "", "evaluate the right \"<METHOD> <path>\" and print the trace")
+		hash     = fs.String("hash", "", "print the sha256 of a file (for post_cond_file_sha256)")
+		cfgPath  = fs.String("config", "", "GAA configuration file declaring the registered routines (default: all built-ins)")
+		rules    = fs.String("rules", "", "comma-separated rule codes or names to run; prefix with '-' to disable (e.g. W003,-subsumed-entry)")
+		severity = fs.String("severity", "", "minimum severity to report: warning (default) or error")
+		params   multiFlag
+		systems  multiFlag
+		locals   multiFlag
 	)
 	fs.Var(&params, "param", "request parameter type=value for -explain (repeatable)")
+	fs.Var(&systems, "system", "system-level EACL file for composition analysis (repeatable)")
+	fs.Var(&locals, "local", "local-level EACL file for composition analysis (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -71,7 +92,24 @@ func run(args []string, out io.Writer) (int, error) {
 		return 0, nil
 	}
 
-	if fs.NArg() == 0 {
+	var opts []analysis.Option
+	if *rules != "" {
+		opt, err := analysis.WithRuleFilter(*rules)
+		if err != nil {
+			return 2, err
+		}
+		opts = append(opts, opt)
+	}
+	if *severity != "" {
+		sev, err := analysis.ParseSeverity(*severity)
+		if err != nil {
+			return 2, err
+		}
+		opts = append(opts, analysis.WithMinSeverity(sev))
+	}
+	analyzer := analysis.New(opts...)
+
+	if fs.NArg() == 0 && len(systems) == 0 && len(locals) == 0 {
 		return 2, fmt.Errorf("no policy files given")
 	}
 
@@ -99,38 +137,97 @@ func run(args []string, out io.Writer) (int, error) {
 		registerActionStubs(api)
 	}
 
+	// Parse every file up front: positional files are analyzed in
+	// isolation; -system/-local files are analyzed in isolation AND as a
+	// composed policy set.
 	exit := 0
-	for _, path := range fs.Args() {
+	type parsed struct {
+		path string
+		e    *eacl.EACL
+	}
+	var files []parsed
+	var sysEACLs, locEACLs []*eacl.EACL
+	load := func(path string) *eacl.EACL {
 		e, err := eacl.ParseFile(path)
 		if err != nil {
 			fmt.Fprintf(out, "%v\n", err)
 			exit = 1
-			continue
+			return nil
 		}
-		if *format {
-			fmt.Fprint(out, e.String())
-			continue
+		files = append(files, parsed{path, e})
+		return e
+	}
+	for _, path := range fs.Args() {
+		load(path)
+	}
+	for _, path := range systems {
+		if e := load(path); e != nil {
+			sysEACLs = append(sysEACLs, e)
 		}
-		findings := eacl.Validate(e, eacl.ValidateOptions{KnownCondition: api.Known})
-		for _, f := range findings {
-			fmt.Fprintf(out, "%s: %s\n", path, f)
-			if f.Severity == eacl.Error {
-				exit = 1
+	}
+	for _, path := range locals {
+		if e := load(path); e != nil {
+			locEACLs = append(locEACLs, e)
+		}
+	}
+
+	if *format {
+		for _, f := range files {
+			fmt.Fprint(out, f.e.String())
+		}
+		return exit, nil
+	}
+
+	var diags []analysis.Diagnostic
+	perFile := make(map[string]int, len(files))
+	for _, f := range files {
+		ds := analyzer.AnalyzeFile(&analysis.File{EACL: f.e, Known: api.Known})
+		perFile[f.path] = len(ds)
+		diags = append(diags, ds...)
+	}
+	if len(sysEACLs) > 0 || len(locEACLs) > 0 {
+		diags = append(diags, analyzer.AnalyzeComposition(analysis.NewComposition(sysEACLs, locEACLs))...)
+	}
+	for _, d := range diags {
+		if d.Severity == analysis.SeverityError {
+			exit = 1
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		doc, err := analysis.JSONReport(diags)
+		if err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "%s\n", doc)
+	case *sarifOut:
+		doc, err := analysis.SARIFReport(diags)
+		if err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "%s\n", doc)
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s\n", d)
+		}
+		for _, f := range files {
+			if perFile[f.path] == 0 && *explain == "" {
+				fmt.Fprintf(out, "%s: ok (%d entries)\n", f.path, len(f.e.Entries))
 			}
 		}
-		if len(findings) == 0 && *explain == "" {
-			fmt.Fprintf(out, "%s: ok (%d entries)\n", path, len(e.Entries))
-		}
 		if *explain != "" {
-			if err := explainPolicy(out, api, e, *explain, params); err != nil {
-				return 2, err
+			for _, f := range files {
+				if err := explainPolicy(out, api, f.e, *explain, params); err != nil {
+					return 2, err
+				}
 			}
 		}
 	}
 	return exit, nil
 }
 
-func explainPolicy(out io.Writer, api *gaa.API, e *eacl.EACL, right string, params paramFlags) error {
+func explainPolicy(out io.Writer, api *gaa.API, e *eacl.EACL, right string, params multiFlag) error {
 	req := gaa.NewRequest("apache", right)
 	for _, p := range params {
 		typ, val, ok := strings.Cut(p, "=")

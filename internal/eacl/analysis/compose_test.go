@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"testing"
+
+	"gaaapi/internal/eacl"
+)
+
+func composeOf(t *testing.T, system, local []string) *Composition {
+	t.Helper()
+	var sys, loc []*eacl.EACL
+	for i, src := range system {
+		e := mustParse(t, src)
+		e.Source = "system" + string(rune('0'+i)) + ".eacl"
+		sys = append(sys, e)
+	}
+	for i, src := range local {
+		e := mustParse(t, src)
+		e.Source = "local" + string(rune('0'+i)) + ".eacl"
+		loc = append(loc, e)
+	}
+	return NewComposition(sys, loc)
+}
+
+func TestCompositionModeDerivation(t *testing.T) {
+	c := composeOf(t, []string{"pos_access_right apache *"}, nil)
+	if c.Mode != eacl.ModeNarrow {
+		t.Errorf("default mode = %v, want narrow", c.Mode)
+	}
+	c = composeOf(t, []string{"eacl_mode expand\npos_access_right apache *"}, nil)
+	if c.Mode != eacl.ModeExpand {
+		t.Errorf("mode = %v, want expand", c.Mode)
+	}
+}
+
+func TestStopDeadLocal(t *testing.T) {
+	c := composeOf(t,
+		[]string{"eacl_mode stop\nneg_access_right * *\npre_cond_system_threat_level local =high"},
+		[]string{"pos_access_right apache *\npos_access_right sshd login"})
+	ds := New().AnalyzeComposition(c)
+	n := 0
+	for _, d := range ds {
+		if d.Code == "W020" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("W020 count = %d, want 2 (one per dead local entry): %v", n, ds)
+	}
+	// Without local entries there is nothing to report.
+	c = composeOf(t, []string{"eacl_mode stop\nneg_access_right * *"}, nil)
+	if ds := New().AnalyzeComposition(c); len(ds) != 0 {
+		t.Errorf("findings without local policies: %v", ds)
+	}
+}
+
+func TestExpandBypass(t *testing.T) {
+	c := composeOf(t,
+		[]string{"eacl_mode expand\nneg_access_right * *\npre_cond_accessid_GROUP local BadGuys"},
+		[]string{"pos_access_right apache *"})
+	ds := New().AnalyzeComposition(c)
+	if !hasCode(ds, "W021") {
+		t.Errorf("want W021, got %v", ds)
+	}
+	// Under narrow the same shape is mandatory, not bypassable.
+	c = composeOf(t,
+		[]string{"eacl_mode narrow\nneg_access_right * *\npre_cond_accessid_GROUP local BadGuys"},
+		[]string{"pos_access_right apache *"})
+	ds = New().AnalyzeComposition(c)
+	if hasCode(ds, "W021") {
+		t.Errorf("W021 under narrow: %v", ds)
+	}
+	// Disjoint rights carry no bypass risk.
+	c = composeOf(t,
+		[]string{"eacl_mode expand\nneg_access_right sshd *"},
+		[]string{"pos_access_right apache *"})
+	ds = New().AnalyzeComposition(c)
+	if hasCode(ds, "W021") {
+		t.Errorf("W021 on disjoint rights: %v", ds)
+	}
+}
+
+func TestNarrowDeadGrant(t *testing.T) {
+	// Unconditional system denial covers the local grant: dead.
+	c := composeOf(t,
+		[]string{"eacl_mode narrow\nneg_access_right * *"},
+		[]string{"pos_access_right apache *\npre_cond_accessid_USER apache *"})
+	ds := New().AnalyzeComposition(c)
+	if !hasCode(ds, "E020") {
+		t.Errorf("want E020, got %v", ds)
+	}
+	// System denial guarded by a condition the grant also carries:
+	// still dead (the guard holds whenever the grant's does).
+	c = composeOf(t,
+		[]string{"eacl_mode narrow\nneg_access_right * *\npre_cond_system_threat_level local =high"},
+		[]string{"pos_access_right apache *\npre_cond_system_threat_level local =high"})
+	ds = New().AnalyzeComposition(c)
+	if !hasCode(ds, "E020") {
+		t.Errorf("want E020 for matching guards, got %v", ds)
+	}
+	// The paper's 7.1 shape: denial at =high, grant at >low — the grant
+	// survives at medium threat, so no finding.
+	c = composeOf(t,
+		[]string{"eacl_mode narrow\nneg_access_right * *\npre_cond_system_threat_level local =high"},
+		[]string{"pos_access_right apache *\npre_cond_system_threat_level local >low\npre_cond_accessid_USER apache *"})
+	ds = New().AnalyzeComposition(c)
+	if hasCode(ds, "E020") {
+		t.Errorf("paper 7.1 shape flagged dead: %v", ds)
+	}
+	// Neg local entries are never "grants".
+	c = composeOf(t,
+		[]string{"eacl_mode narrow\nneg_access_right * *"},
+		[]string{"neg_access_right apache *\npre_cond_regex gnu *phf*"})
+	ds = New().AnalyzeComposition(c)
+	if hasCode(ds, "E020") {
+		t.Errorf("E020 on neg local entry: %v", ds)
+	}
+}
+
+func TestPaperPoliciesComposeClean(t *testing.T) {
+	// Section 7.1 and 7.2 compositions from policies/paper must not
+	// trigger composition findings.
+	sys71 := "eacl_mode narrow\nneg_access_right * *\npre_cond_system_threat_level local =high"
+	loc71 := "pos_access_right apache *\npre_cond_system_threat_level local >low\npre_cond_accessid_USER apache *"
+	sys72 := "eacl_mode narrow\nneg_access_right * *\npre_cond_accessid_GROUP local BadGuys"
+	loc72 := `
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+neg_access_right apache *
+pre_cond_expr local input_length>@max_input
+pos_access_right apache *
+`
+	for _, tt := range []struct{ sys, loc string }{{sys71, loc71}, {sys72, loc72}} {
+		c := composeOf(t, []string{tt.sys}, []string{tt.loc})
+		if ds := New().AnalyzeComposition(c); len(ds) != 0 {
+			t.Errorf("paper composition has findings: %v", ds)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import (
+	"gaaapi/internal/actions"
+	"gaaapi/internal/conditions"
+)
+
+// BuiltinKnown returns a Known function accepting every built-in
+// condition and action routine under any authority — the vocabulary
+// conditions.Register and actions.Register install. Drivers with a GAA
+// configuration file should pass the registry's own Known instead
+// (gaa.API.Known), so findings reflect the deployed vocabulary.
+func BuiltinKnown() func(condType, defAuth string) bool {
+	known := map[string]bool{}
+	for _, name := range conditions.Names() {
+		known[name] = true
+	}
+	for _, name := range actions.Names() {
+		known[name] = true
+	}
+	return func(condType, defAuth string) bool { return known[condType] }
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"gaaapi/internal/eacl"
+)
+
+// Layer 3: cross-file composition analysis. A deployment composes
+// system-wide EACLs with local EACLs under the mode the first
+// system-wide policy declares (paper section 2.1; gaa.NewPolicy):
+//
+//   - expand: access allowed if either level allows (disjunction);
+//   - narrow: both levels must permit (conjunction) — the default;
+//   - stop: the system-wide policy alone applies.
+//
+// Each mode has a characteristic misconfiguration, and each gets a
+// rule: local entries that are dead weight under stop (W020), local
+// grants that can override a mandatory system denial under expand
+// (W021), and local grants a system denial always vetoes under narrow
+// (E020).
+
+// Composition is a composed policy set: system-wide EACLs first, local
+// EACLs second, with the effective composition mode derived the same
+// way the runtime derives it.
+type Composition struct {
+	Mode   eacl.CompositionMode
+	System []*eacl.EACL
+	Local  []*eacl.EACL
+}
+
+// NewComposition derives the mode from the first system EACL that
+// declares one, defaulting to narrow exactly like gaa.NewPolicy.
+func NewComposition(system, local []*eacl.EACL) *Composition {
+	c := &Composition{Mode: eacl.ModeNarrow, System: system, Local: local}
+	for _, e := range system {
+		if e.ModeSet {
+			c.Mode = e.Mode
+			break
+		}
+	}
+	return c
+}
+
+var (
+	metaStopDeadLocal = Meta{
+		Code: "W020", Name: "stop-dead-local", Severity: SeverityWarning,
+		Summary: "the system-wide policy declares eacl_mode stop, so every local entry is dead (never evaluated)",
+		Example: "system: eacl_mode stop\nlocal: pos_access_right apache *",
+		Fix:     "delete the local policy, or change the system mode if local policies should participate",
+	}
+	metaExpandBypass = Meta{
+		Code: "W021", Name: "expand-bypass", Severity: SeverityWarning,
+		Summary: "under eacl_mode expand, a local grant overlaps a system-wide denial and can override it (disjunction)",
+		Example: "system: eacl_mode expand + neg_access_right * *\nlocal: pos_access_right apache *",
+		Fix:     "use eacl_mode narrow for mandatory system denials; expand lets local policies broaden rights",
+	}
+	metaNarrowDeadGrant = Meta{
+		Code: "E020", Name: "narrow-dead-grant", Severity: SeverityError,
+		Summary: "under eacl_mode narrow, a system-wide denial fires whenever this local grant would, so the grant is never satisfiable",
+		Example: "system: neg_access_right * *\nlocal: pos_access_right apache *",
+		Fix:     "guard the system denial with a pre-condition the local grant excludes, or drop the dead grant",
+	}
+)
+
+// stopDeadLocalRule (W020) reports each local file containing entries
+// when the composition mode is stop: EACLs() drops local policies
+// entirely, so none of those entries is ever evaluated.
+type stopDeadLocalRule struct{}
+
+func (stopDeadLocalRule) Meta() Meta { return metaStopDeadLocal }
+
+func (stopDeadLocalRule) CheckComposition(c *Composition, r *Reporter) {
+	if c.Mode != eacl.ModeStop || len(c.System) == 0 {
+		return
+	}
+	for _, loc := range c.Local {
+		for i := range loc.Entries {
+			en := &loc.Entries[i]
+			r.Report(loc.Source, en.Line,
+				"dead under stop: the system-wide policy declares eacl_mode stop, so this local entry is never evaluated")
+		}
+	}
+}
+
+// expandBypassRule (W021) reports local pos entries that overlap a
+// system neg entry's right under expand: the composed decision is a
+// disjunction, so the local grant wins over the system denial for
+// requests in the overlap — the opposite of "mandatory" system policy.
+type expandBypassRule struct{}
+
+func (expandBypassRule) Meta() Meta { return metaExpandBypass }
+
+func (expandBypassRule) CheckComposition(c *Composition, r *Reporter) {
+	if c.Mode != eacl.ModeExpand {
+		return
+	}
+	for _, sys := range c.System {
+		for i := range sys.Entries {
+			deny := &sys.Entries[i]
+			if deny.Right.Sign != eacl.Neg {
+				continue
+			}
+			for _, loc := range c.Local {
+				for j := range loc.Entries {
+					grant := &loc.Entries[j]
+					if grant.Right.Sign != eacl.Pos {
+						continue
+					}
+					if !eacl.RightsOverlap(deny.Right, grant.Right) {
+						continue
+					}
+					r.Report(loc.Source, grant.Line,
+						"mandatory-bypass risk under expand: this grant for %q overlaps the system-wide denial %s:%d for %q and overrides it (expand is a disjunction)",
+						grant.Right.Value, sys.Source, deny.Line, deny.Right.Value)
+				}
+			}
+		}
+	}
+}
+
+// narrowDeadGrantRule (E020) reports local pos entries that a system
+// neg entry always vetoes under narrow: the system right covers the
+// local right and the system entry's pre-conditions are a subset of the
+// local entry's, so whenever the local grant's guard holds, the system
+// denial fires too — and narrow conjoins NO ∧ YES to NO. The grant can
+// never take effect.
+type narrowDeadGrantRule struct{}
+
+func (narrowDeadGrantRule) Meta() Meta { return metaNarrowDeadGrant }
+
+func (narrowDeadGrantRule) CheckComposition(c *Composition, r *Reporter) {
+	if c.Mode != eacl.ModeNarrow {
+		return
+	}
+	for _, loc := range c.Local {
+		for j := range loc.Entries {
+			grant := &loc.Entries[j]
+			if grant.Right.Sign != eacl.Pos {
+				continue
+			}
+			grantPre := preSet(grant)
+			for _, sys := range c.System {
+				for i := range sys.Entries {
+					deny := &sys.Entries[i]
+					if deny.Right.Sign != eacl.Neg {
+						continue
+					}
+					if !eacl.RightCovers(deny.Right, grant.Right) {
+						continue
+					}
+					if !subsetOf(deny.Block(eacl.BlockPre), grantPre) {
+						continue
+					}
+					r.Report(loc.Source, grant.Line,
+						"never satisfiable under narrow: the system-wide denial %s:%d covers %q and fires whenever this grant would; the conjunction always denies",
+						sys.Source, deny.Line, grant.Right.Value)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package eacl
+
+import "testing"
+
+func TestGlobCovers(t *testing.T) {
+	tests := []struct {
+		outer, inner string
+		want         bool
+	}{
+		// Literals.
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"", "", true},
+		// Universal pattern.
+		{"*", "", true},
+		{"*", "anything", true},
+		{"*", "*phf*", true},
+		{"*", "GET /cgi-bin/*", true},
+		{"***", "*", true},
+		// The validate.go:107 bug: a glob pattern covering a literal.
+		{"GET /cgi-bin/*", "GET /cgi-bin/phf", true},
+		{"GET /cgi-bin/*", "GET /cgi-bin/", true},
+		{"GET /cgi-bin/*", "GET /index.html", false},
+		// Pattern covering pattern.
+		{"GET /cgi-bin/*", "GET /cgi-bin/*.cgi", true},
+		{"GET *", "GET /cgi-bin/*", true},
+		{"*phf*", "*phf*", true},
+		{"*phf*", "GET *phf*", true},
+		{"*phf*", "*", false},        // inner matches "", outer does not
+		{"GET *", "* /index", false}, // inner matches "POST /index"
+		{"a*b", "ab", true},
+		{"a*b", "axxb", true},
+		{"a*b", "a*b", true},
+		{"a*b", "a*c*b", true},
+		{"ab", "a*b", false}, // inner matches "axb"
+		{"a*", "*", false},
+		{"*a*", "*ba*c*", true},
+		{"*a*", "*b*", false},
+		// Empty outer covers nothing but empty.
+		{"", "*", false},
+		{"", "a", false},
+	}
+	for _, tt := range tests {
+		if got := GlobCovers(tt.outer, tt.inner); got != tt.want {
+			t.Errorf("GlobCovers(%q, %q) = %v, want %v", tt.outer, tt.inner, got, tt.want)
+		}
+	}
+}
+
+func TestGlobsOverlap(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"", "", true},
+		{"", "*", true},
+		{"", "a", false},
+		{"*", "anything", true},
+		{"GET /a*", "*phf*", true}, // "GET /aphf"
+		{"GET *", "POST *", false},
+		{"a*", "*b", true}, // "ab"
+		{"a*", "b*", false},
+		{"*a", "*b", false},
+		{"a*c", "ab*", true}, // "abc"
+		{"GET /cgi-bin/*", "*phf*", true},
+		{"sshd", "apache", false},
+	}
+	for _, tt := range tests {
+		if got := GlobsOverlap(tt.a, tt.b); got != tt.want {
+			t.Errorf("GlobsOverlap(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		// Intersection is symmetric.
+		if got := GlobsOverlap(tt.b, tt.a); got != tt.want {
+			t.Errorf("GlobsOverlap(%q, %q) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestRightCoversAndOverlap(t *testing.T) {
+	wide := Right{Sign: Pos, DefAuth: "apache", Value: "GET /cgi-bin/*"}
+	narrow := Right{Sign: Neg, DefAuth: "apache", Value: "GET /cgi-bin/phf"}
+	other := Right{Sign: Pos, DefAuth: "sshd", Value: "login *"}
+	if !RightCovers(wide, narrow) {
+		t.Error("wide right should cover narrow right (signs ignored)")
+	}
+	if RightCovers(narrow, wide) {
+		t.Error("narrow right should not cover wide right")
+	}
+	if !RightsOverlap(wide, narrow) {
+		t.Error("covering rights overlap")
+	}
+	if RightsOverlap(wide, other) {
+		t.Error("different authorities should not overlap")
+	}
+}
+
+// FuzzGlobCovers checks the semantic contract against the matcher:
+// whenever outer covers inner, every string inner matches must also be
+// matched by outer.
+func FuzzGlobCovers(f *testing.F) {
+	f.Add("GET /cgi-bin/*", "GET /cgi-bin/phf", "GET /cgi-bin/phf")
+	f.Add("*", "*phf*", "xphfy")
+	f.Add("a*b", "a*c*b", "acb")
+	f.Add("*a*", "*b*", "ab")
+	f.Fuzz(func(t *testing.T, outer, inner, s string) {
+		covers := GlobCovers(outer, inner)
+		if covers && Glob(inner, s) && !Glob(outer, s) {
+			t.Fatalf("GlobCovers(%q, %q) but %q matched by inner only", outer, inner, s)
+		}
+		// A pattern always covers itself and overlaps itself.
+		if !GlobCovers(outer, outer) {
+			t.Fatalf("GlobCovers(%q, %q) = false (reflexivity)", outer, outer)
+		}
+		if !GlobsOverlap(outer, outer) {
+			t.Fatalf("GlobsOverlap(%q, %q) = false (reflexivity)", outer, outer)
+		}
+		// Anything both patterns match witnesses their intersection.
+		if Glob(outer, s) && Glob(inner, s) && !GlobsOverlap(outer, inner) {
+			t.Fatalf("GlobsOverlap(%q, %q) = false but both match %q", outer, inner, s)
+		}
+		// Coverage implies overlap unless the inner language is empty,
+		// which cannot happen in this pattern language.
+		if covers && !GlobsOverlap(outer, inner) {
+			t.Fatalf("GlobCovers(%q, %q) but no overlap", outer, inner)
+		}
+	})
+}

@@ -14,6 +14,16 @@ func FuzzParse(f *testing.F) {
 	f.Add("# only comments\n\n")
 	f.Add("pos_access_right apache *\nmid_cond_quota local cpu_ms<=50")
 	f.Add("eacl mode 2\nneg_access_right * *")
+	// Analyzer crash seeds: inputs that stress the static-analysis
+	// rules downstream of the parser (bad values, contradictions,
+	// shadowing globs, composition-sensitive shapes).
+	f.Add("pos_access_right apache GET /cgi-bin/*\nneg_access_right apache GET /cgi-bin/phf\npre_cond_regex gnu *phf*")
+	f.Add("neg_access_right apache *\npre_cond_regex gnu re:[unclosed\npre_cond_location local 300.0.0.0/8")
+	f.Add("pos_access_right apache *\npre_cond_time_window local 09:00-09:00\npre_cond_time_window local 10:00-11:00 Mon")
+	f.Add("pos_access_right apache *\npre_cond_system_threat_level local =high\npre_cond_system_threat_level local =low")
+	f.Add("neg_access_right apache *\npre_cond_threshold local counter= key= max=x window=-1s")
+	f.Add("pos_access_right apache *\npost_cond_file_sha256 local /etc/passwd nothex")
+	f.Add("eacl_mode stop\nneg_access_right * *\npre_cond_expr local input_length>@max_input")
 	f.Fuzz(func(t *testing.T, src string) {
 		e, err := ParseString(src)
 		if err != nil {

@@ -86,7 +86,7 @@ func Validate(e *EACL, opts ValidateOptions) []Finding {
 		// this entry's right decides first; this entry never fires.
 		for j := 0; j < i; j++ {
 			prev := &e.Entries[j]
-			if len(prev.Block(BlockPre)) == 0 && rightCovers(prev.Right, en.Right) {
+			if len(prev.Block(BlockPre)) == 0 && RightCovers(prev.Right, en.Right) {
 				out = append(out, Finding{Warning, en.Line,
 					fmt.Sprintf("unreachable: shadowed by unconditional entry at line %d", prev.Line)})
 				break
@@ -94,21 +94,6 @@ func Validate(e *EACL, opts ValidateOptions) []Finding {
 		}
 	}
 	return out
-}
-
-// rightCovers reports whether outer's pattern covers every right inner's
-// pattern can match. Exact equality always covers; a '*' component
-// covers anything.
-func rightCovers(outer, inner Right) bool {
-	return componentCovers(outer.DefAuth, inner.DefAuth) &&
-		componentCovers(outer.Value, inner.Value)
-}
-
-func componentCovers(outer, inner string) bool {
-	if outer == "*" {
-		return true
-	}
-	return outer == inner
 }
 
 func entryKey(en *Entry) string {

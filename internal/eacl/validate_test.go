@@ -82,6 +82,36 @@ pre_cond_regex gnu *secret*
 	}
 }
 
+func TestValidateShadowedByGlobEntry(t *testing.T) {
+	// The runtime matcher uses Glob, so an unconditional glob entry
+	// shadows every narrower pattern — not just literal "*" components.
+	e := mustParse(t, `
+pos_access_right apache GET /cgi-bin/*
+neg_access_right apache GET /cgi-bin/phf
+pre_cond_regex gnu *phf*
+`)
+	fs := Validate(e, ValidateOptions{})
+	f := findingWith(fs, "unreachable")
+	if f == nil {
+		t.Fatalf("want glob-shadow warning, got %v", fs)
+	}
+	if f.Line != 3 {
+		t.Errorf("finding line = %d, want 3", f.Line)
+	}
+}
+
+func TestValidateNotShadowedByDisjointGlob(t *testing.T) {
+	e := mustParse(t, `
+pos_access_right apache GET /static/*
+neg_access_right apache GET /cgi-bin/phf
+pre_cond_regex gnu *phf*
+`)
+	fs := Validate(e, ValidateOptions{})
+	if f := findingWith(fs, "unreachable"); f != nil {
+		t.Errorf("disjoint glob should not shadow: %v", f)
+	}
+}
+
 func TestValidateNotShadowedWhenEarlierHasConditions(t *testing.T) {
 	// An earlier entry WITH pre-conditions can fall through, so a later
 	// overlapping entry is reachable.
