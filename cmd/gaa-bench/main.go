@@ -10,6 +10,8 @@
 //	gaa-bench -notify 47ms    # synthetic notification latency
 //	gaa-bench -parallel       # parallel decision-path throughput sweep
 //	gaa-bench -parallel -json # same, as JSON (BENCH_parallel.json)
+//	gaa-bench -drill          # fault drill: seeded evaluator/notifier
+//	                          # fault injection; non-zero exit on crash
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"gaaapi/internal/experiments"
+	"gaaapi/internal/faults"
 )
 
 func main() {
@@ -40,11 +43,35 @@ func run(args []string, out io.Writer) error {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		parallel = fs.Bool("parallel", false, "run the parallel throughput sweep (1/4/16 goroutines) instead of the experiment tables")
 		jsonOut  = fs.Bool("json", false, "with -parallel: emit machine-readable JSON")
+
+		drill       = fs.Bool("drill", false, "run a fault drill (seeded fault injection over the section 7.2 deployment) instead of the experiment tables")
+		drillN      = fs.Int("drill-requests", 400, "with -drill: legitimate-workload size")
+		faultEval   = fs.String("fault-evaluators", "hang=0.02,panic=0.05,error=0.08,latency=0.1:2ms", "with -drill: evaluator fault injection spec")
+		faultNotify = fs.String("fault-notifier", "error=0.3,latency=0.3:5ms", "with -drill: notifier fault injection spec")
+		evalTimeout = fs.Duration("evaluator-timeout", 25*time.Millisecond, "with -drill: per-evaluator deadline cutting off injected hangs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Trials: *trials, NotifyLatency: *notify, Seed: *seed}
+
+	if *drill {
+		evalSpec, err := faults.ParseSpec(*faultEval)
+		if err != nil {
+			return fmt.Errorf("-fault-evaluators: %w", err)
+		}
+		notifySpec, err := faults.ParseSpec(*faultNotify)
+		if err != nil {
+			return fmt.Errorf("-fault-notifier: %w", err)
+		}
+		return experiments.FaultDrill(out, experiments.FaultDrillOptions{
+			Requests:   *drillN,
+			Seed:       *seed,
+			EvalSpec:   evalSpec,
+			NotifySpec: notifySpec,
+			Timeout:    *evalTimeout,
+		})
+	}
 
 	if *parallel {
 		if !*jsonOut {

@@ -32,6 +32,7 @@ import (
 	"gaaapi/internal/actions"
 	"gaaapi/internal/audit"
 	"gaaapi/internal/conditions"
+	"gaaapi/internal/faults"
 	"gaaapi/internal/gaa"
 	"gaaapi/internal/gaahttp"
 	"gaaapi/internal/groups"
@@ -79,6 +80,13 @@ type options struct {
 	accessLog  string
 	docRoot    string
 	notifyLat  time.Duration
+
+	// Robustness & fault-drill knobs (DESIGN.md "Robustness & fault
+	// drills").
+	evalTimeout time.Duration
+	faultSeed   int64
+	faultEval   string
+	faultNotify string
 }
 
 func parseOptions(args []string) (options, error) {
@@ -92,6 +100,10 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.accessLog, "access-log", "", "common-log-format access log path (empty: stdout)")
 	fs.StringVar(&o.docRoot, "docroot", "", "serve static documents from this directory (empty: built-in demo pages)")
 	fs.DurationVar(&o.notifyLat, "notify-latency", 0, "synthetic notification latency")
+	fs.DurationVar(&o.evalTimeout, "evaluator-timeout", 0, "per-evaluator deadline; a hung or slow condition evaluator degrades to MAYBE (0: off)")
+	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injectors")
+	fs.StringVar(&o.faultEval, "fault-evaluators", "", `evaluator fault injection spec, e.g. "hang=0.01,panic=0.02,error=0.05,latency=0.1:20ms"`)
+	fs.StringVar(&o.faultNotify, "fault-notifier", "", `notifier fault injection spec, same syntax as -fault-evaluators`)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -117,7 +129,27 @@ func buildDeployment(o options) (*deployment, error) {
 	blocks := netblock.NewSet()
 	ring := audit.NewRing(4096)
 	mailbox := notify.NewMailbox(o.notifyLat)
-	async := notify.NewAsync(mailbox, 1024)
+
+	// Fault drill wiring: seeded injectors wrap the notifier transport
+	// and every registered evaluator; the retry/breaker layer and the
+	// evaluator supervision absorb what they inject.
+	evalSpec, err := faults.ParseSpec(o.faultEval)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-evaluators: %w", err)
+	}
+	notifySpec, err := faults.ParseSpec(o.faultNotify)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-notifier: %w", err)
+	}
+	evalInj := faults.New(o.faultSeed, evalSpec)
+	notifyInj := faults.New(o.faultSeed+1, notifySpec)
+
+	var transport notify.Notifier = mailbox
+	if notifySpec.Active() {
+		transport = notifyInj.Notifier(transport)
+	}
+	reliable := notify.NewReliable(transport)
+	async := notify.NewAsync(reliable, 1024)
 
 	if o.groupsFile != "" {
 		if err := grp.LoadFile(o.groupsFile); err != nil {
@@ -135,7 +167,14 @@ func buildDeployment(o options) (*deployment, error) {
 	tuner.SetLevelValues(ids.Medium, map[string]string{"max_input": "300"})
 	tuner.SetLevelValues(ids.High, map[string]string{"max_input": "100"})
 
-	api := gaa.New(gaa.WithPolicyCache(4096), gaa.WithValues(values))
+	apiOpts := []gaa.Option{gaa.WithPolicyCache(4096), gaa.WithValues(values)}
+	if o.evalTimeout > 0 {
+		apiOpts = append(apiOpts, gaa.WithEvaluatorTimeout(o.evalTimeout))
+	}
+	if evalSpec.Active() {
+		apiOpts = append(apiOpts, gaa.WithEvaluatorWrapper(evalInj.Evaluator))
+	}
+	api := gaa.New(apiOpts...)
 	conditions.Register(api, conditions.Deps{
 		Threat: threat, Groups: grp, Counters: counters, Signatures: sigs,
 	})
@@ -252,6 +291,18 @@ func buildDeployment(o options) (*deployment, error) {
 		fmt.Fprintf(w, "blocked: %s\n", strings.Join(blocks.List(), " "))
 		fmt.Fprintf(w, "notifications: %d\n", mailbox.Count())
 		fmt.Fprintf(w, "bus reports: %d\n", bus.Published())
+		sup := api.SupervisionStats()
+		fmt.Fprintf(w, "supervision: timeouts=%d panics=%d errors=%d invalid=%d\n",
+			sup.Timeouts, sup.Panics, sup.Errors, sup.Invalid)
+		ns := reliable.Stats()
+		fmt.Fprintf(w, "notifier: delivered=%d failures=%d retries=%d short-circuits=%d breaker=%s opens=%d\n",
+			ns.Delivered, ns.Failures, ns.Retries, ns.ShortCircuits, ns.Breaker, ns.BreakerOpens)
+		if evalInj.Spec().Active() || notifyInj.Spec().Active() {
+			es, nsI := evalInj.Stats(), notifyInj.Stats()
+			fmt.Fprintf(w, "fault drill: evaluators[%s] hangs=%d panics=%d errors=%d latencies=%d; notifier[%s] hangs=%d panics=%d errors=%d latencies=%d\n",
+				evalInj.Spec(), es.Hangs, es.Panics, es.Errors, es.Latencies,
+				notifyInj.Spec(), nsI.Hangs, nsI.Panics, nsI.Errors, nsI.Latencies)
+		}
 		recs := ring.Records()
 		if len(recs) > 10 {
 			recs = recs[len(recs)-10:]

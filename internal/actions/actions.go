@@ -14,6 +14,7 @@ import (
 	"gaaapi/internal/ids"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
+	"gaaapi/internal/retry"
 )
 
 // Deps carries the services the action evaluators drive. Nil fields
@@ -39,6 +40,12 @@ type Deps struct {
 	// cannot stage a denial of service by impersonating a host
 	// (paper sections 1 and 3).
 	Spoof ids.NetworkIDS
+	// Retry bounds re-attempts of side-effecting deliveries (notify,
+	// audit) when the backing service errors transiently. The zero
+	// value means a single attempt (current behaviour). Deployments
+	// whose Notifier is already a notify.Reliable should leave this
+	// zero to avoid nested retries.
+	Retry retry.Policy
 }
 
 // Builtin returns the built-in action evaluator registered under name.
@@ -47,11 +54,11 @@ type Deps struct {
 func Builtin(name string, deps Deps, clock func() time.Time) (gaa.Evaluator, bool) {
 	switch name {
 	case "notify":
-		return notifyAction{n: deps.Notifier, clock: clock}, true
+		return notifyAction{n: deps.Notifier, clock: clock, retry: deps.Retry}, true
 	case "update_log":
 		return updateLogAction{store: deps.Groups, spoof: deps.Spoof}, true
 	case "audit":
-		return auditAction{log: deps.Audit, clock: clock}, true
+		return auditAction{log: deps.Audit, clock: clock, retry: deps.Retry}, true
 	case "set_threat_level":
 		return threatAction{mgr: deps.Threat}, true
 	case "block_ip":
@@ -84,6 +91,7 @@ func Register(api *gaa.API, deps Deps) {
 type notifyAction struct {
 	n     notify.Notifier
 	clock func() time.Time
+	retry retry.Policy
 }
 
 func (a notifyAction) Evaluate(ctx context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
@@ -112,7 +120,9 @@ func (a notifyAction) Evaluate(ctx context.Context, cond eacl.Condition, req *ga
 			a.clock().Format(time.RFC3339), ip, uri, req.Decision, tag),
 		Tag: tag,
 	}
-	if err := a.n.Notify(ctx, msg); err != nil {
+	if _, err := retry.Do(ctx, a.retry, func(ctx context.Context) error {
+		return a.n.Notify(ctx, msg)
+	}); err != nil {
 		// Paper section 6: the request-result outcome conjoins into the
 		// authorization status, so a failed mandatory notification
 		// fails the status.
@@ -170,9 +180,10 @@ func (a updateLogAction) Evaluate(_ context.Context, cond eacl.Condition, req *g
 type auditAction struct {
 	log   audit.Logger
 	clock func() time.Time
+	retry retry.Policy
 }
 
-func (a auditAction) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
+func (a auditAction) Evaluate(ctx context.Context, cond eacl.Condition, req *gaa.Request) gaa.Outcome {
 	if a.log == nil {
 		return gaa.UnevaluatedOutcome("no audit logger configured")
 	}
@@ -205,7 +216,9 @@ func (a auditAction) Evaluate(_ context.Context, cond eacl.Condition, req *gaa.R
 		User:     user,
 		Info:     tag,
 	}
-	if err := a.log.Log(rec); err != nil {
+	if _, err := retry.Do(ctx, a.retry, func(context.Context) error {
+		return a.log.Log(rec)
+	}); err != nil {
 		return gaa.Outcome{Result: gaa.No, Class: gaa.ClassAction, Err: err, Detail: "audit write failed"}
 	}
 	return gaa.MetOutcome(gaa.ClassAction, "audited")

@@ -1,0 +1,109 @@
+package execctl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gaaapi/internal/gaa"
+)
+
+// TestRunConcurrentUsageWriters aborts an operation whose consumption
+// is credited from several goroutines at once: the monitor's threshold
+// check reads snapshots while writers race, and the abort must land
+// without losing accounting (run under -race).
+func TestRunConcurrentUsageWriters(t *testing.T) {
+	u := NewUsage(nil)
+	const writers = 8
+	res := Run(context.Background(), u,
+		func(ctx context.Context, u *Usage) error {
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(time.Millisecond / 2):
+							u.AddCPU(5 * time.Millisecond)
+							u.AddOutput(64)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			return ctx.Err()
+		},
+		func(s Snapshot) gaa.Decision {
+			if s.CPUMillis > 100 {
+				return gaa.No
+			}
+			return gaa.Yes
+		},
+		time.Millisecond)
+	if !res.Violated || !errors.Is(res.Err, ErrAborted) {
+		t.Fatalf("result = %+v, want threshold abort under concurrent writers", res)
+	}
+	if res.Final.CPUMillis <= 100 {
+		t.Errorf("final cpu = %d, want past the 100ms threshold", res.Final.CPUMillis)
+	}
+	// Accounting sanity: output bytes are credited in lockstep (64 per
+	// 5ms cpu credit), so the ratio must hold exactly.
+	if got, want := res.Final.OutputBytes, res.Final.CPUMillis/5*64; got != want {
+		t.Errorf("output = %d, want %d (lost updates under concurrency)", got, want)
+	}
+}
+
+// TestConcurrentOperationsIndependent runs several monitored operations
+// in parallel, each with its own Usage; thresholds must fire per
+// operation without cross-talk.
+func TestConcurrentOperationsIndependent(t *testing.T) {
+	const ops = 6
+	results := make([]Result, ops)
+	var wg sync.WaitGroup
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := NewUsage(nil)
+			greedy := i%2 == 0
+			results[i] = Run(context.Background(), u,
+				func(ctx context.Context, u *Usage) error {
+					for n := 0; n < 40; n++ {
+						select {
+						case <-ctx.Done():
+							return ctx.Err()
+						case <-time.After(time.Millisecond / 4):
+						}
+						if greedy {
+							u.AddMem(1 << 20)
+						} else {
+							u.AddMem(16)
+						}
+					}
+					return nil
+				},
+				func(s Snapshot) gaa.Decision {
+					if s.MemBytes > 4<<20 {
+						return gaa.No
+					}
+					return gaa.Yes
+				},
+				time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		greedy := i%2 == 0
+		if greedy && !res.Violated {
+			t.Errorf("op %d (greedy): %+v, want memory threshold violation", i, res)
+		}
+		if !greedy && res.Violated {
+			t.Errorf("op %d (frugal): %+v, violated by a neighbour's usage", i, res)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/notify"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Spec
+		wantErr bool
+	}{
+		{in: "", want: Spec{}},
+		{in: "off", want: Spec{}},
+		{in: "hang=0.02", want: Spec{Hang: 0.02}},
+		{in: "panic=0.05,error=0.1", want: Spec{Panic: 0.05, Error: 0.1}},
+		{in: "latency=0.2:50ms", want: Spec{Latency: 0.2, LatencyDur: 50 * time.Millisecond}},
+		{in: "latency=0.2", want: Spec{Latency: 0.2, LatencyDur: 10 * time.Millisecond}},
+		{in: " hang=1 , latency=0.5:1s ", want: Spec{Hang: 1, Latency: 0.5, LatencyDur: time.Second}},
+		{in: "hang", wantErr: true},
+		{in: "hang=2", wantErr: true},
+		{in: "hang=-0.1", wantErr: true},
+		{in: "hang=x", wantErr: true},
+		{in: "jitter=0.5", wantErr: true},
+		{in: "latency=0.2:sideways", wantErr: true},
+		{in: "panic=0.1:5ms", wantErr: true}, // duration only valid for latency
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) = %+v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, text := range []string{"off", "hang=0.02,panic=0.05", "error=0.1,latency=0.2:50ms"} {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String()=%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip %q -> %+v -> %q -> %+v", text, s, s.String(), back)
+		}
+	}
+}
+
+// passEvaluator counts how often it is reached.
+func passEvaluator(calls *int) gaa.Evaluator {
+	return gaa.EvaluatorFunc(func(context.Context, eacl.Condition, *gaa.Request) gaa.Outcome {
+		*calls++
+		return gaa.MetOutcome(gaa.ClassSelector, "reached")
+	})
+}
+
+// drive runs n supervised-free evaluator calls against the injector,
+// recovering the injected panics itself, and returns the outcomes.
+func drive(t *testing.T, in *Injector, n int) []gaa.Outcome {
+	t.Helper()
+	calls := 0
+	ev := in.Evaluator(passEvaluator(&calls))
+	cond := eacl.Condition{Type: "x", DefAuth: "local"}
+	outs := make([]gaa.Outcome, 0, n)
+	for i := 0; i < n; i++ {
+		func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+			defer cancel()
+			defer func() {
+				if r := recover(); r != nil {
+					outs = append(outs, gaa.Outcome{Detail: "panic"})
+				}
+			}()
+			outs = append(outs, ev.Evaluate(ctx, cond, nil))
+		}()
+	}
+	return outs
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	spec := Spec{Hang: 0.05, Panic: 0.1, Error: 0.15, Latency: 0.2, LatencyDur: time.Microsecond}
+	a := New(42, spec)
+	b := New(42, spec)
+	outsA := drive(t, a, 200)
+	outsB := drive(t, b, 200)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	for i := range outsA {
+		if outsA[i].Detail != outsB[i].Detail || (outsA[i].Err == nil) != (outsB[i].Err == nil) {
+			t.Fatalf("call %d diverged: %+v vs %+v", i, outsA[i], outsB[i])
+		}
+	}
+	st := a.Stats()
+	if st.Calls != 200 || st.Hangs == 0 || st.Panics == 0 || st.Errors == 0 || st.Latencies == 0 {
+		t.Errorf("stats = %+v, want every fault kind exercised over 200 calls", st)
+	}
+}
+
+func TestInjectorSeedsDiffer(t *testing.T) {
+	spec := Spec{Panic: 0.5}
+	a, b := New(1, spec), New(2, spec)
+	drive(t, a, 100)
+	drive(t, b, 100)
+	if a.Stats() == b.Stats() {
+		t.Errorf("different seeds produced identical stats %+v; PRNG not seed-driven", a.Stats())
+	}
+}
+
+func TestInjectorInactivePassesThrough(t *testing.T) {
+	in := New(1, Spec{})
+	calls := 0
+	ev := in.Evaluator(passEvaluator(&calls))
+	for i := 0; i < 50; i++ {
+		out := ev.Evaluate(context.Background(), eacl.Condition{}, nil)
+		if out.Result != gaa.Yes {
+			t.Fatalf("call %d: %+v, want pass-through", i, out)
+		}
+	}
+	if calls != 50 {
+		t.Errorf("inner calls = %d, want 50", calls)
+	}
+	st := in.Stats()
+	if st.Calls != 50 || st.Hangs+st.Panics+st.Errors+st.Latencies != 0 {
+		t.Errorf("stats = %+v, want counted calls and zero injections", st)
+	}
+}
+
+func TestInjectorErrorOutcome(t *testing.T) {
+	in := New(1, Spec{Error: 1})
+	calls := 0
+	out := in.Evaluator(passEvaluator(&calls)).Evaluate(context.Background(), eacl.Condition{}, nil)
+	if !errors.Is(out.Err, ErrInjected) || calls != 0 {
+		t.Errorf("outcome = %+v inner calls = %d, want ErrInjected without reaching inner", out, calls)
+	}
+}
+
+func TestInjectorHangRespectsContext(t *testing.T) {
+	in := New(1, Spec{Hang: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out := in.Evaluator(passEvaluator(new(int))).Evaluate(ctx, eacl.Condition{}, nil)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hang ignored context for %v", elapsed)
+	}
+	if out.Result != gaa.Maybe || !out.Unevaluated {
+		t.Errorf("hang outcome = %+v, want unevaluated maybe", out)
+	}
+}
+
+func TestNotifierInjection(t *testing.T) {
+	in := New(9, Spec{Error: 0.5})
+	mb := notify.NewMailbox(0)
+	n := in.Notifier(mb)
+	delivered, failed := 0, 0
+	for i := 0; i < 100; i++ {
+		if err := n.Notify(context.Background(), notify.Message{Tag: "t"}); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failed++
+		} else {
+			delivered++
+		}
+	}
+	if delivered == 0 || failed == 0 {
+		t.Fatalf("delivered=%d failed=%d, want a mix at p=0.5", delivered, failed)
+	}
+	if mb.Count() != delivered {
+		t.Errorf("mailbox = %d, want %d (failures must not deliver)", mb.Count(), delivered)
+	}
+	if st := in.Stats(); st.Errors != uint64(failed) {
+		t.Errorf("stats errors = %d, want %d", st.Errors, failed)
+	}
+}

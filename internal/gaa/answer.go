@@ -63,8 +63,15 @@ type Answer struct {
 	// entries that decided, for ExecutionControl and
 	// PostExecutionActions.
 	Mid, Post []eacl.Condition
-	// Trace is the full evaluation trace.
+	// Trace is the full evaluation trace when tracing is enabled.
+	// Degraded evaluations (see Faults) are traced even with tracing
+	// off.
 	Trace []TraceEvent
+	// Faults lists the condition evaluations the supervision layer
+	// degraded to MAYBE (panic, timeout, error, invalid decision)
+	// while producing this answer, each with a structured reason.
+	// Empty in healthy operation.
+	Faults []Fault
 }
 
 // UnevaluatedOnly returns the single unevaluated condition of the given

@@ -19,6 +19,12 @@ type API struct {
 	cache  *policyCache
 	values ValueProvider
 	trace  bool
+
+	// Supervision (see supervise.go): per-evaluator deadline, the
+	// fault-injection seam, and degraded-mode counters.
+	evalTimeout time.Duration
+	wrapEval    func(Evaluator) Evaluator
+	sup         supervisionCounters
 }
 
 // Option configures an API.
@@ -75,13 +81,17 @@ func New(opts ...Option) *API {
 // AuthorityAny as defAuth for an evaluator serving every authority.
 // Registration may happen at any time; web masters "can write their own
 // routines ... and register them with the GAA-API" (paper section 5).
+// Every evaluator is registered behind the supervision layer: panics
+// are recovered, deadlines (WithEvaluatorTimeout) enforced, and
+// failures degraded to MAYBE with a recorded Fault instead of killing
+// the request.
 func (a *API) Register(condType, defAuth string, ev Evaluator) {
-	a.reg.register(condType, defAuth, ev)
+	a.reg.register(condType, defAuth, a.supervise(ev))
 }
 
 // RegisterFunc is Register for plain functions.
 func (a *API) RegisterFunc(condType, defAuth string, fn EvaluatorFunc) {
-	a.reg.register(condType, defAuth, fn)
+	a.Register(condType, defAuth, fn)
 }
 
 // Known reports whether an evaluator is registered for the pair; it is
@@ -257,12 +267,13 @@ func (a *API) CheckAuthorizationInto(ctx context.Context, p *Policy, req *Reques
 		Unevaluated: res.unevaluated,
 		Challenge:   res.challenge,
 		Trace:       res.trace,
+		Faults:      res.faults,
 	}
 
 	// Request-result conditions see the decision.
 	r.Decision = ans.Decision
 	for _, d := range st.deciders {
-		dec, evaluated := a.evaluateEntryBlock(ctx, d.source, d.entry, eacl.BlockRequestResult, r, &ans.Trace)
+		dec, evaluated := a.evaluateEntryBlock(ctx, d.source, d.entry, eacl.BlockRequestResult, r, &ans.Trace, &ans.Faults)
 		if evaluated {
 			ans.Decision = Conjoin(ans.Decision, dec)
 		}

@@ -60,10 +60,14 @@ type levelAccum struct {
 	deniedChallenged string
 	trace            []TraceEvent
 	unevaluated      []eacl.Condition
+	faults           []Fault
 }
 
 func (l *levelAccum) add(r evalResult) {
 	l.trace = append(l.trace, r.trace...)
+	// Faults are diagnostics: they surface even from EACLs that did not
+	// decide.
+	l.faults = append(l.faults, r.faults...)
 	if !r.applicable {
 		return
 	}
@@ -85,6 +89,7 @@ func (l *levelAccum) result() evalResult {
 		applicable:  l.applicable,
 		trace:       l.trace,
 		unevaluated: l.unevaluated,
+		faults:      l.faults,
 	}
 	if l.applicable {
 		combined.decision = l.dec
@@ -103,10 +108,13 @@ func composeLevels(mode eacl.CompositionMode, sys, loc evalResult, sysExists boo
 	out := evalResult{
 		trace: append(append([]TraceEvent{}, sys.trace...), loc.trace...),
 	}
+	if n := len(sys.faults) + len(loc.faults); n > 0 {
+		out.faults = append(append(make([]Fault, 0, n), sys.faults...), loc.faults...)
+	}
 	switch {
 	case mode == eacl.ModeStop && sysExists:
 		// Local policies are ignored entirely, including their trace:
-		// they were never evaluated.
+		// they were never evaluated (and produced no faults).
 		out = sys
 	case !sys.applicable && !loc.applicable:
 		out.decision = Maybe

@@ -16,6 +16,7 @@ type evalResult struct {
 	unevaluated []eacl.Condition
 	challenge   string
 	trace       []TraceEvent
+	faults      []Fault
 }
 
 // evaluateEACL scans the ordered entries of one EACL for the requested
@@ -44,7 +45,12 @@ func (a *API) evaluateEACL(ctx context.Context, e *eacl.EACL, req *Request) eval
 				continue
 			}
 			out := a.evaluateCondition(ctx, cond, req)
-			if req.Trace {
+			if out.Fault != FaultNone {
+				res.faults = append(res.faults, Fault{Cond: cond, Kind: out.Fault, Reason: out.faultReason()})
+			}
+			// Faults are traced even when tracing is off: a degraded
+			// evaluation must stay observable.
+			if req.Trace || out.Fault != FaultNone {
 				res.trace = append(res.trace, TraceEvent{
 					Source: e.Source, EntryLine: entry.Line, Cond: cond, Outcome: out,
 				})
@@ -142,9 +148,12 @@ func entryMatches(entry *eacl.Entry, req *Request) bool {
 // evaluateCondition dispatches one condition to its registered
 // evaluator. Unregistered conditions evaluate to MAYBE/unevaluated
 // (paper section 6: "The GAA-API returns MAYBE if the corresponding
-// condition evaluation function is not registered"). Evaluator panics
-// are not recovered — evaluators are trusted in-process modules — but
-// evaluator errors degrade to MAYBE.
+// condition evaluation function is not registered"). Registered
+// evaluators run behind the supervision layer (supervise.go), which
+// recovers panics, enforces the optional per-evaluator deadline, and
+// degrades errors and invalid decisions to MAYBE with a tagged Fault;
+// the error check below is only a safety net for outcomes that bypass
+// supervision.
 func (a *API) evaluateCondition(ctx context.Context, cond eacl.Condition, req *Request) Outcome {
 	ev, ok := a.reg.lookup(cond.Type, cond.DefAuth)
 	if !ok {
@@ -185,7 +194,7 @@ func (a *API) evaluateBlock(ctx context.Context, source string, entryLine int, c
 	}
 	for _, cond := range conds {
 		out := a.evaluateCondition(ctx, cond, req)
-		if req.Trace {
+		if req.Trace || out.Fault != FaultNone {
 			trace = append(trace, TraceEvent{
 				Source: source, EntryLine: entryLine, Cond: cond, Outcome: out,
 			})
@@ -201,7 +210,7 @@ func (a *API) evaluateBlock(ctx context.Context, source string, entryLine int, c
 // whether the entry had any condition in the block; an empty block
 // yields (Yes, false) so callers skip the conjunction, matching the
 // original Entry.Block + evaluateBlock behaviour.
-func (a *API) evaluateEntryBlock(ctx context.Context, source string, entry *eacl.Entry, b eacl.Block, req *Request, trace *[]TraceEvent) (Decision, bool) {
+func (a *API) evaluateEntryBlock(ctx context.Context, source string, entry *eacl.Entry, b eacl.Block, req *Request, trace *[]TraceEvent, faults *[]Fault) (Decision, bool) {
 	var (
 		combined  Decision
 		evaluated bool
@@ -213,7 +222,10 @@ func (a *API) evaluateEntryBlock(ctx context.Context, source string, entry *eacl
 		}
 		evaluated = true
 		out := a.evaluateCondition(ctx, cond, req)
-		if req.Trace {
+		if out.Fault != FaultNone && faults != nil {
+			*faults = append(*faults, Fault{Cond: cond, Kind: out.Fault, Reason: out.faultReason()})
+		}
+		if req.Trace || out.Fault != FaultNone {
 			*trace = append(*trace, TraceEvent{
 				Source: source, EntryLine: entry.Line, Cond: cond, Outcome: out,
 			})

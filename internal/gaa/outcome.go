@@ -54,6 +54,10 @@ type Outcome struct {
 	// Err records an evaluator failure; the engine degrades it to
 	// MAYBE and keeps the error in the trace.
 	Err error
+	// Fault, when not FaultNone, marks an outcome produced by the
+	// supervision layer degrading a failed evaluation (panic, timeout,
+	// error, invalid decision). Evaluators leave it zero.
+	Fault FaultKind
 }
 
 // classOrDefault resolves the zero Class to ClassSelector.

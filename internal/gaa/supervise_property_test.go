@@ -1,0 +1,94 @@
+package gaa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"gaaapi/internal/eacl"
+)
+
+// genFaultyPolicy builds a random policy over a vocabulary that mixes
+// well-behaved evaluators with every supervised failure mode (error,
+// panic, hang, invalid decision), across all four condition blocks.
+func genFaultyPolicy(rng *rand.Rand, entries int) *eacl.EACL {
+	condTypes := []string{"sel_yes", "sel_no", "req_yes", "maybe", "errs", "panics", "hangs", "invalid"}
+	blocks := []string{"pre_cond", "rr_cond", "mid_cond", "post_cond"}
+	var b strings.Builder
+	for i := 0; i < entries; i++ {
+		if rng.Intn(3) == 0 {
+			b.WriteString("neg_access_right apache *\n")
+		} else {
+			b.WriteString("pos_access_right apache *\n")
+		}
+		for c := 1 + rng.Intn(3); c > 0; c-- {
+			fmt.Fprintf(&b, "%s_%s local\n", blocks[rng.Intn(len(blocks))], condTypes[rng.Intn(len(condTypes))])
+		}
+	}
+	e, err := eacl.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TestPropertySupervisionContainsFaults drives all three enforcement
+// phases over random policies whose evaluators error, panic, hang and
+// return invalid decisions, and asserts the supervision contract:
+//
+//   - no panic ever escapes CheckAuthorization, ExecutionControl or
+//     PostExecutionActions;
+//   - the decision of every phase is a valid tri-state value;
+//   - every recorded Fault carries a real kind and a non-empty reason;
+//   - the degraded-mode counters account for at least every answer-level
+//     fault.
+func TestPropertySupervisionContainsFaults(t *testing.T) {
+	a, _ := newTestAPI(t)
+	WithEvaluatorTimeout(2 * time.Millisecond).apply(a)
+	registerFaulty(a)
+	rng := rand.New(rand.NewSource(2003))
+	valid := func(d Decision) bool { return d == Yes || d == No || d == Maybe }
+
+	phases := func(e *eacl.EACL) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic escaped the enforcement phases: %v\npolicy:\n%s", r, e)
+			}
+		}()
+		p := NewPolicy("/x", nil, []*eacl.EACL{e})
+		req := simpleRequest()
+		ans := checkAuth(t, a, p, req)
+		if !valid(ans.Decision) {
+			t.Fatalf("CheckAuthorization decision = %d, want tri-state\npolicy:\n%s", int(ans.Decision), e)
+		}
+		for _, f := range ans.Faults {
+			if f.Kind == FaultNone || f.Reason == "" {
+				t.Fatalf("malformed fault %+v\npolicy:\n%s", f, e)
+			}
+		}
+		for _, ev := range ans.Trace {
+			if ev.Outcome.Fault != FaultNone && ev.Outcome.faultReason() == "" {
+				t.Fatalf("trace fault without reason: %+v", ev)
+			}
+		}
+		if dec, _ := a.ExecutionControl(context.Background(), ans, req, Param{Type: "cpu_ms", Authority: AuthorityAny, Value: "1"}); !valid(dec) {
+			t.Fatalf("ExecutionControl decision = %d\npolicy:\n%s", int(dec), e)
+		}
+		if dec, _ := a.PostExecutionActions(context.Background(), ans, req, Yes); !valid(dec) {
+			t.Fatalf("PostExecutionActions decision = %d\npolicy:\n%s", int(dec), e)
+		}
+	}
+
+	for i := 0; i < 120; i++ {
+		e := genFaultyPolicy(rng, 1+rng.Intn(4))
+		phases(e)
+	}
+	stats := a.SupervisionStats()
+	total := stats.Panics + stats.Timeouts + stats.Errors + stats.Invalid
+	if total == 0 {
+		t.Fatal("no supervised fault recorded across 120 random faulty policies; vocabulary not exercised")
+	}
+}

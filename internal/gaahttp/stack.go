@@ -53,6 +53,20 @@ type StackConfig struct {
 	AccessLog io.Writer
 	// Clock overrides time.Now for deterministic runs.
 	Clock func() time.Time
+
+	// EvaluatorTimeout bounds every condition-evaluator call; a hung
+	// evaluator degrades to MAYBE at the deadline (0: off).
+	EvaluatorTimeout time.Duration
+	// EvaluatorWrapper, when non-nil, wraps every registered evaluator
+	// beneath the supervision layer — the fault-injection seam
+	// (internal/faults).
+	EvaluatorWrapper func(gaa.Evaluator) gaa.Evaluator
+	// NotifierWrapper, when non-nil, wraps the notification transport
+	// (between the mailbox and the retry/breaker layer).
+	NotifierWrapper func(notify.Notifier) notify.Notifier
+	// ReliableNotify wraps the transport in notify.NewReliable
+	// (bounded retry + circuit breaker); the handle is Stack.Reliable.
+	ReliableNotify bool
 }
 
 // Stack is a fully wired deployment: the GAA-API with all built-in
@@ -71,6 +85,7 @@ type Stack struct {
 	Counters *conditions.Counters
 	Blocks   *netblock.Set
 	Mailbox  *notify.Mailbox
+	Reliable *notify.Reliable
 	Audit    *audit.Ring
 	Network  *ids.StaticSpoofList
 	Values   *gaa.Values
@@ -111,6 +126,12 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if cfg.PolicyCache {
 		apiOpts = append(apiOpts, gaa.WithPolicyCache(1024))
 	}
+	if cfg.EvaluatorTimeout > 0 {
+		apiOpts = append(apiOpts, gaa.WithEvaluatorTimeout(cfg.EvaluatorTimeout))
+	}
+	if cfg.EvaluatorWrapper != nil {
+		apiOpts = append(apiOpts, gaa.WithEvaluatorWrapper(cfg.EvaluatorWrapper))
+	}
 	st.API = gaa.New(apiOpts...)
 
 	conditions.Register(st.API, conditions.Deps{
@@ -120,8 +141,15 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Signatures: st.Sigs,
 	})
 	var notifier notify.Notifier = st.Mailbox
+	if cfg.NotifierWrapper != nil {
+		notifier = cfg.NotifierWrapper(notifier)
+	}
+	if cfg.ReliableNotify {
+		st.Reliable = notify.NewReliable(notifier)
+		notifier = st.Reliable
+	}
 	if cfg.AsyncNotify {
-		st.async = notify.NewAsync(st.Mailbox, 256)
+		st.async = notify.NewAsync(notifier, 256)
 		notifier = st.async
 	}
 	actions.Register(st.API, actions.Deps{
