@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		drillN      = fs.Int("drill-requests", 400, "with -drill: legitimate-workload size")
 		faultEval   = fs.String("fault-evaluators", "hang=0.02,panic=0.05,error=0.08,latency=0.1:2ms", "with -drill: evaluator fault injection spec")
 		faultNotify = fs.String("fault-notifier", "error=0.3,latency=0.3:5ms", "with -drill: notifier fault injection spec")
+		faultDisk   = fs.String("fault-disk", "", `with -drill: state-store disk fault spec, e.g. "disk=0.05" (short writes + fsync errors over a temp -state-dir)`)
 		evalTimeout = fs.Duration("evaluator-timeout", 25*time.Millisecond, "with -drill: per-evaluator deadline cutting off injected hangs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,13 +65,27 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-fault-notifier: %w", err)
 		}
-		return experiments.FaultDrill(out, experiments.FaultDrillOptions{
+		diskSpec, err := faults.ParseSpec(*faultDisk)
+		if err != nil {
+			return fmt.Errorf("-fault-disk: %w", err)
+		}
+		do := experiments.FaultDrillOptions{
 			Requests:   *drillN,
 			Seed:       *seed,
 			EvalSpec:   evalSpec,
 			NotifySpec: notifySpec,
+			DiskSpec:   diskSpec,
 			Timeout:    *evalTimeout,
-		})
+		}
+		if diskSpec.Active() {
+			dir, err := os.MkdirTemp("", "gaa-drill-state-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			do.StateDir = dir
+		}
+		return experiments.FaultDrill(out, do)
 	}
 
 	if *parallel {

@@ -14,17 +14,26 @@
 // deployment: the paper's section 7.1 lockdown policy plus the section
 // 7.2 CGI protections over a small document tree. Admin endpoints:
 //
-//	GET /gaa/status   — threat level, blacklist, block set, audit tail
+//	GET  /gaa/status  — threat level, blacklist, block set, audit tail,
+//	                    state-store and reload statistics
+//	POST /gaa/reload  — re-parse and analyze the policy set; swap it in
+//	                    atomically only when clean at severity < error
+//
+// SIGHUP triggers the same validated reload. With -state-dir the
+// adaptive state (blocks with their expiries, threat level, lockout
+// counters, blacklist groups) is journaled and survives kill -9.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -32,6 +41,7 @@ import (
 	"gaaapi/internal/actions"
 	"gaaapi/internal/audit"
 	"gaaapi/internal/conditions"
+	"gaaapi/internal/eacl"
 	"gaaapi/internal/faults"
 	"gaaapi/internal/gaa"
 	"gaaapi/internal/gaahttp"
@@ -40,6 +50,7 @@ import (
 	"gaaapi/internal/ids"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
+	"gaaapi/internal/statestore"
 )
 
 func main() {
@@ -87,6 +98,12 @@ type options struct {
 	faultSeed   int64
 	faultEval   string
 	faultNotify string
+	faultDisk   string
+
+	// Durability knobs (DESIGN.md "Durability & live reload").
+	stateDir     string
+	fsyncPolicy  string
+	snapInterval time.Duration
 }
 
 func parseOptions(args []string) (options, error) {
@@ -104,6 +121,10 @@ func parseOptions(args []string) (options, error) {
 	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injectors")
 	fs.StringVar(&o.faultEval, "fault-evaluators", "", `evaluator fault injection spec, e.g. "hang=0.01,panic=0.02,error=0.05,latency=0.1:20ms"`)
 	fs.StringVar(&o.faultNotify, "fault-notifier", "", `notifier fault injection spec, same syntax as -fault-evaluators`)
+	fs.StringVar(&o.faultDisk, "fault-disk", "", `state-store disk fault injection spec, e.g. "disk=0.05" (short writes + fsync errors)`)
+	fs.StringVar(&o.stateDir, "state-dir", "", "journal adaptive state (blocks, threat level, lockouts, blacklists) under this directory so it survives crashes")
+	fs.StringVar(&o.fsyncPolicy, "fsync", "interval", "state WAL fsync policy: always|interval|never")
+	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "compact the state WAL into a snapshot this often (0: count-driven only)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -113,10 +134,62 @@ func parseOptions(args []string) (options, error) {
 // deployment is the wired server plus the state its admin endpoint and
 // shutdown path need.
 type deployment struct {
-	handler http.Handler
-	threat  *ids.Manager
-	groups  *groups.Store
-	close   func()
+	handler  http.Handler
+	threat   *ids.Manager
+	groups   *groups.Store
+	reloader *gaahttp.Reloader
+	store    *statestore.Store
+	close    func()
+}
+
+// loadBundle parses the configured policy set fresh from disk (or the
+// demo constants) for validated startup and reload.
+func loadBundle(o options) (*gaahttp.PolicyBundle, error) {
+	b := &gaahttp.PolicyBundle{}
+	sysText, sysName := demoSystemPolicy, "demo-system"
+	if o.systemPath != "" {
+		raw, err := os.ReadFile(o.systemPath)
+		if err != nil {
+			return nil, fmt.Errorf("system policy: %w", err)
+		}
+		sysText, sysName = string(raw), o.systemPath
+	}
+	sysEACL, err := eacl.ParseString(sysText)
+	if err != nil {
+		return nil, fmt.Errorf("system policy %s: %w", sysName, err)
+	}
+	sysMem := gaa.NewMemorySource()
+	sysMem.Add("*", sysEACL)
+	b.System, b.SystemEACLs = sysMem, []*eacl.EACL{sysEACL}
+
+	if o.localDir != "" {
+		// Serving keeps the per-directory DirSource semantics; analysis
+		// vets every .eacl under the tree as of this reload.
+		err := filepath.WalkDir(o.localDir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || d.Name() != ".eacl" {
+				return err
+			}
+			e, perr := eacl.ParseFile(path)
+			if perr != nil {
+				return fmt.Errorf("local policy %s: %w", path, perr)
+			}
+			b.LocalEACLs = append(b.LocalEACLs, e)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Local = gaa.NewDirSource(o.localDir, ".eacl")
+	} else {
+		locEACL, err := eacl.ParseString(demoLocalPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("demo local policy: %w", err)
+		}
+		locMem := gaa.NewMemorySource()
+		locMem.Add("*", locEACL)
+		b.Local, b.LocalEACLs = locMem, []*eacl.EACL{locEACL}
+	}
+	return b, nil
 }
 
 func buildDeployment(o options) (*deployment, error) {
@@ -141,8 +214,50 @@ func buildDeployment(o options) (*deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("-fault-notifier: %w", err)
 	}
+	diskSpec, err := faults.ParseSpec(o.faultDisk)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-disk: %w", err)
+	}
 	evalInj := faults.New(o.faultSeed, evalSpec)
 	notifyInj := faults.New(o.faultSeed+1, notifySpec)
+	diskInj := faults.New(o.faultSeed+2, diskSpec)
+
+	// Crash-safe adaptive state: restore what a previous process
+	// journaled into the components, then journal every further
+	// mutation. Must happen before any traffic (or the groups file)
+	// mutates them.
+	var (
+		store   *statestore.Store
+		persist *statestore.Adaptive
+	)
+	if o.stateDir != "" {
+		fsyncPolicy, err := statestore.ParseFsyncPolicy(o.fsyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		storeFS := statestore.OS
+		if diskSpec.Active() {
+			storeFS = diskInj.FS(storeFS)
+		}
+		store, err = statestore.Open(o.stateDir, statestore.Options{
+			Fsync:            fsyncPolicy,
+			SnapshotInterval: o.snapInterval,
+			FS:               storeFS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		persist, err = statestore.Attach(store, statestore.Components{
+			Blocks:   blocks,
+			Threat:   threat,
+			Counters: counters,
+			Groups:   grp,
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 
 	var transport notify.Notifier = mailbox
 	if notifySpec.Active() {
@@ -154,6 +269,9 @@ func buildDeployment(o options) (*deployment, error) {
 	if o.groupsFile != "" {
 		if err := grp.LoadFile(o.groupsFile); err != nil {
 			async.Close()
+			if store != nil {
+				store.Close()
+			}
 			return nil, fmt.Errorf("load groups: %w", err)
 		}
 	}
@@ -183,35 +301,35 @@ func buildDeployment(o options) (*deployment, error) {
 		Blocks: blocks, Counters: counters,
 	})
 
-	// Policy sources.
-	var system, local []gaa.PolicySource
-	if o.systemPath != "" {
-		system = append(system, gaa.NewFileSource(o.systemPath))
-	} else {
-		mem := gaa.NewMemorySource()
-		if err := mem.AddPolicy("*", demoSystemPolicy); err != nil {
-			async.Close()
-			return nil, err
+	// Policy sources: parsed once at startup, then served through swap
+	// points so SIGHUP / POST /gaa/reload can replace them atomically
+	// after the static analyzer vets the replacement.
+	bundle, err := loadBundle(o)
+	if err != nil {
+		async.Close()
+		if store != nil {
+			store.Close()
 		}
-		system = append(system, mem)
+		return nil, err
 	}
-	if o.localDir != "" {
-		local = append(local, gaa.NewDirSource(o.localDir, ".eacl"))
-	} else {
-		mem := gaa.NewMemorySource()
-		if err := mem.AddPolicy("*", demoLocalPolicy); err != nil {
-			async.Close()
-			return nil, err
-		}
-		local = append(local, mem)
-	}
+	systemSwap := gaa.NewSwappableSource(bundle.System)
+	localSwap := gaa.NewSwappableSource(bundle.Local)
+	reloader := gaahttp.NewReloader(gaahttp.ReloadConfig{
+		Load:   func() (*gaahttp.PolicyBundle, error) { return loadBundle(o) },
+		System: systemSwap,
+		Local:  localSwap,
+		Known:  api.Known,
+	})
 
 	guard := gaahttp.New(gaahttp.Config{
-		API: api, System: system, Local: local,
-		Bus: bus, Signatures: sigs,
+		API:    api,
+		System: []gaa.PolicySource{systemSwap},
+		Local:  []gaa.PolicySource{localSwap},
+		Bus:    bus, Signatures: sigs,
 		Anomaly:          ids.NewDetector(ids.DefaultAnomalyConfig()),
 		Audit:            ring,
 		SensitiveObjects: []string{"/cgi-bin/*", "/private/*"},
+		Health:           reloader,
 	})
 
 	// Correlator: the host-IDS loop adapting the threat level; the
@@ -238,6 +356,9 @@ func buildDeployment(o options) (*deployment, error) {
 		if err != nil {
 			corrCancel()
 			async.Close()
+			if store != nil {
+				store.Close()
+			}
 			return nil, fmt.Errorf("open htpasswd: %w", err)
 		}
 		parsed, err := httpd.ParseHtpasswd(f)
@@ -245,6 +366,9 @@ func buildDeployment(o options) (*deployment, error) {
 		if err != nil {
 			corrCancel()
 			async.Close()
+			if store != nil {
+				store.Close()
+			}
 			return nil, err
 		}
 		htauth = parsed
@@ -261,6 +385,9 @@ func buildDeployment(o options) (*deployment, error) {
 		if err != nil {
 			corrCancel()
 			async.Close()
+			if store != nil {
+				store.Close()
+			}
 			return nil, fmt.Errorf("open access log: %w", err)
 		}
 		logW, logFile = f, f
@@ -303,6 +430,37 @@ func buildDeployment(o options) (*deployment, error) {
 				evalInj.Spec(), es.Hangs, es.Panics, es.Errors, es.Latencies,
 				notifyInj.Spec(), nsI.Hangs, nsI.Panics, nsI.Errors, nsI.Latencies)
 		}
+		if diskInj.Spec().Active() {
+			ds := diskInj.Stats()
+			fmt.Fprintf(w, "fault drill: disk[%s] short-writes=%d sync-errors=%d\n",
+				diskInj.Spec(), ds.ShortWrites, ds.SyncErrors)
+		}
+		rls := reloader.Stats()
+		fmt.Fprintf(w, "reload: generation=%d attempts=%d applied=%d rejected=%d auto-rollbacks=%d probation=%v\n",
+			rls.Generation, rls.Attempts, rls.Applied, rls.Rejected, rls.AutoRollbacks, rls.Probation)
+		if rls.LastError != "" {
+			fmt.Fprintf(w, "reload last error: %s\n", rls.LastError)
+		}
+		for _, d := range rls.LastDiagnostics {
+			fmt.Fprintf(w, "reload diag: %s\n", d)
+		}
+		if store != nil {
+			ss := store.Stats()
+			fmt.Fprintf(w, "state store: appends=%d append-errors=%d snapshots=%d snapshot-errors=%d syncs=%d sync-errors=%d last-seq=%d journal-errors=%d\n",
+				ss.Appends, ss.AppendErrors, ss.Snapshots, ss.SnapshotErrors,
+				ss.Syncs, ss.SyncErrors, ss.LastSeq, persist.JournalErrors())
+			rec := store.Recovery()
+			fmt.Fprintf(w, "state recovery: snapshot=%v(seq=%d quarantined=%v) replayed=%d dup-skipped=%d dropped=%dB",
+				rec.SnapshotLoaded, rec.SnapshotSeq, rec.SnapshotQuarantined,
+				rec.Replayed, rec.SkippedDuplicates, rec.DroppedBytes)
+			if rec.DroppedReason != "" {
+				fmt.Fprintf(w, " reason=%q", rec.DroppedReason)
+			}
+			fmt.Fprintln(w)
+			rsum := persist.Restored()
+			fmt.Fprintf(w, "state restored: blocks=%d expired-blocks=%d threat=%q counter-events=%d group-members=%d\n",
+				rsum.Blocks, rsum.ExpiredBlocks, rsum.ThreatLevel, rsum.CounterEvents, rsum.GroupMembers)
+		}
 		recs := ring.Records()
 		if len(recs) > 10 {
 			recs = recs[len(recs)-10:]
@@ -311,18 +469,38 @@ func buildDeployment(o options) (*deployment, error) {
 			fmt.Fprintf(w, "audit: %s %s %s %s\n", r.Kind, r.Object, r.Decision, r.ClientIP)
 		}
 	}
+	reload := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		res := reloader.Reload()
+		w.Header().Set("Content-Type", "application/json")
+		if !res.OK {
+			// The old policy set keeps serving; the body says why the
+			// candidate was rejected.
+			w.WriteHeader(http.StatusUnprocessableEntity)
+		}
+		json.NewEncoder(w).Encode(res)
+	}
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/gaa/status" {
+		switch r.URL.Path {
+		case "/gaa/status":
 			status(w, r)
+			return
+		case "/gaa/reload":
+			reload(w, r)
 			return
 		}
 		server.ServeHTTP(w, r)
 	})
 
 	return &deployment{
-		handler: root,
-		threat:  threat,
-		groups:  grp,
+		handler:  root,
+		threat:   threat,
+		groups:   grp,
+		reloader: reloader,
+		store:    store,
 		close: func() {
 			corrCancel()
 			sub.Cancel()
@@ -330,6 +508,9 @@ func buildDeployment(o options) (*deployment, error) {
 			<-corrDone
 			<-tunerDone
 			async.Close()
+			if store != nil {
+				store.Close()
+			}
 			if logFile != nil {
 				logFile.Close()
 			}
@@ -354,12 +535,30 @@ func run(args []string) error {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("gaa-httpd listening on %s (threat level %s)\n", o.listen, dep.threat.Level())
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case <-sigCh:
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case sig := <-sigCh:
+			if sig != syscall.SIGHUP {
+				break loop
+			}
+			// SIGHUP: validated hot reload. A rejected candidate leaves
+			// the running policy untouched.
+			res := dep.reloader.Reload()
+			if res.OK {
+				fmt.Printf("gaa-httpd: policy reload applied (generation %d, %d diagnostics)\n",
+					res.Generation, len(res.Diagnostics))
+			} else {
+				fmt.Fprintf(os.Stderr, "gaa-httpd: policy reload rejected: %s\n", res.Err)
+				for _, d := range res.Diagnostics {
+					fmt.Fprintf(os.Stderr, "gaa-httpd:   %s\n", d)
+				}
+			}
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

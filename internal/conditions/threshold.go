@@ -19,8 +19,20 @@ import (
 type Counters struct {
 	clock func() time.Time
 
-	mu     sync.Mutex
-	events map[string][]time.Time
+	mu      sync.Mutex
+	events  map[string][]time.Time
+	journal func(CounterEvent)
+}
+
+// CounterEvent describes one counter mutation for persistence: an
+// event recorded at At, or a reset wiping the key.
+type CounterEvent struct {
+	// Key is the counter identity (CounterKey form).
+	Key string `json:"key"`
+	// At is the event timestamp (meaningless for resets).
+	At time.Time `json:"at,omitempty"`
+	// Reset marks a key wipe instead of an event.
+	Reset bool `json:"reset,omitempty"`
 }
 
 // NewCounters returns an empty counter store; now defaults to time.Now.
@@ -31,12 +43,55 @@ func NewCounters(now func() time.Time) *Counters {
 	return &Counters{clock: now, events: make(map[string][]time.Time)}
 }
 
+// SetJournal installs a hook receiving every mutation, for
+// persistence. RestoreEvent calls are not journaled.
+func (c *Counters) SetJournal(fn func(CounterEvent)) {
+	c.mu.Lock()
+	c.journal = fn
+	c.mu.Unlock()
+}
+
 // Add records one event for key.
 func (c *Counters) Add(key string) {
 	now := c.clock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.events[key] = append(c.events[key], now)
+	journal := c.journal
+	c.mu.Unlock()
+	if journal != nil {
+		journal(CounterEvent{Key: key, At: now})
+	}
+}
+
+// RestoreEvent replays a persisted event with its original timestamp,
+// keeping the per-key series time-ordered so window pruning stays
+// correct. Events older than the restore clock's horizon expire
+// naturally on the next CountSince.
+func (c *Counters) RestoreEvent(key string, at time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.events[key]
+	i := len(ts)
+	for i > 0 && at.Before(ts[i-1]) {
+		i--
+	}
+	ts = append(ts, time.Time{})
+	copy(ts[i+1:], ts[i:])
+	ts[i] = at
+	c.events[key] = ts
+}
+
+// Dump returns a copy of every live event series, for snapshots.
+func (c *Counters) Dump() map[string][]time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]time.Time, len(c.events))
+	for k, ts := range c.events {
+		cp := make([]time.Time, len(ts))
+		copy(cp, ts)
+		out[k] = cp
+	}
+	return out
 }
 
 // CountSince returns the number of events for key within the window,
@@ -64,8 +119,12 @@ func (c *Counters) CountSince(key string, window time.Duration) int {
 // Reset forgets all events for key.
 func (c *Counters) Reset(key string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.events, key)
+	journal := c.journal
+	c.mu.Unlock()
+	if journal != nil {
+		journal(CounterEvent{Key: key, Reset: true})
+	}
 }
 
 // thresholdEvaluator implements pre_cond_threshold with a value like

@@ -9,6 +9,7 @@ import (
 
 	"gaaapi/internal/faults"
 	"gaaapi/internal/gaahttp"
+	"gaaapi/internal/statestore"
 	"gaaapi/internal/workload"
 )
 
@@ -21,6 +22,13 @@ type FaultDrillOptions struct {
 	// EvalSpec / NotifySpec are the injection probabilities for
 	// condition evaluators and the notification transport.
 	EvalSpec, NotifySpec faults.Spec
+	// DiskSpec disturbs the crash-safe state store (short writes, fsync
+	// errors); when active the drill runs with a temporary -state-dir
+	// and additionally verifies that the torn journal still recovers.
+	DiskSpec faults.Spec
+	// StateDir hosts the drill's state store when DiskSpec is active
+	// (required then — the caller owns the directory's lifetime).
+	StateDir string
 	// Timeout is the per-evaluator deadline (default 25ms); it is what
 	// cuts injected hangs off.
 	Timeout time.Duration
@@ -52,8 +60,9 @@ func FaultDrill(w io.Writer, o FaultDrillOptions) error {
 
 	evalInj := faults.New(o.Seed, o.EvalSpec)
 	notifyInj := faults.New(o.Seed+1, o.NotifySpec)
+	diskInj := faults.New(o.Seed+2, o.DiskSpec)
 
-	st, err := gaahttp.NewStack(gaahttp.StackConfig{
+	cfg := gaahttp.StackConfig{
 		SystemPolicy:     Policy72System,
 		LocalPolicies:    map[string]string{"*": Policy72Local},
 		DocRoot:          workload.DocRoot(),
@@ -62,7 +71,15 @@ func FaultDrill(w io.Writer, o FaultDrillOptions) error {
 		EvaluatorWrapper: evalInj.Evaluator,
 		NotifierWrapper:  notifyInj.Notifier,
 		ReliableNotify:   true,
-	})
+	}
+	if o.DiskSpec.Active() {
+		if o.StateDir == "" {
+			return fmt.Errorf("fault drill: disk injection needs a state directory")
+		}
+		cfg.StateDir = o.StateDir
+		cfg.StoreFS = diskInj.FS(statestore.OS)
+	}
+	st, err := gaahttp.NewStack(cfg)
 	if err != nil {
 		return err
 	}
@@ -99,6 +116,11 @@ func FaultDrill(w io.Writer, o FaultDrillOptions) error {
 		o.EvalSpec, es.Hangs, es.Panics, es.Errors, es.Latencies)
 	fmt.Fprintf(w, "            notifier[%s] hangs=%d panics=%d errors=%d latencies=%d\n",
 		o.NotifySpec, ns.Hangs, ns.Panics, ns.Errors, ns.Latencies)
+	if o.DiskSpec.Active() {
+		ds := diskInj.Stats()
+		fmt.Fprintf(w, "            disk[%s] short-writes=%d sync-errors=%d journal-errors=%d\n",
+			o.DiskSpec, ds.ShortWrites, ds.SyncErrors, st.Persist.JournalErrors())
+	}
 	fmt.Fprintf(w, "  supervised: timeouts=%d panics=%d errors=%d invalid=%d\n",
 		sup.Timeouts, sup.Panics, sup.Errors, sup.Invalid)
 	fmt.Fprintf(w, "  notifier: delivered=%d failures=%d retries=%d short-circuits=%d breaker=%s opens=%d\n",
@@ -132,6 +154,21 @@ func FaultDrill(w io.Writer, o FaultDrillOptions) error {
 	}
 	if es.Panics > 0 && sup.Panics == 0 {
 		return fmt.Errorf("fault drill: %d panics injected but none recovered", es.Panics)
+	}
+
+	// Disk-fault contract: whatever the injected short writes and fsync
+	// errors left on disk, a fresh store must recover the valid journal
+	// prefix without erroring (torn tails are truncated, not fatal).
+	if o.DiskSpec.Active() {
+		st.Close() // the deferred Close is an idempotent no-op
+		check, err := statestore.Open(o.StateDir, statestore.Options{})
+		if err != nil {
+			return fmt.Errorf("fault drill: torn state store failed to recover: %w", err)
+		}
+		rec := check.Recovery()
+		check.Close()
+		fmt.Fprintf(w, "  state recovery: snapshot=%v replayed=%d dup-skipped=%d dropped=%dB\n",
+			rec.SnapshotLoaded, rec.Replayed, rec.SkippedDuplicates, rec.DroppedBytes)
 	}
 	return nil
 }

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"errors"
+
+	"gaaapi/internal/statestore"
+)
+
+// ErrInjectedDisk marks an injected disk fault.
+var ErrInjectedDisk = errors.New("faults: injected disk fault")
+
+// FS wraps a statestore filesystem with disk-fault injection driven by
+// the Spec.Disk probability: file writes tear (only a prefix reaches
+// the file before an error) and fsyncs fail. Reads are never disturbed
+// — recovery must see exactly what the faulty writes left behind.
+func (in *Injector) FS(fs statestore.FS) statestore.FS {
+	return &faultFS{inner: fs, in: in}
+}
+
+// rollDisk decides one disk-fault injection.
+func (in *Injector) rollDisk() bool {
+	if in.spec.Disk <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	r := in.rng.Float64()
+	in.mu.Unlock()
+	return r < in.spec.Disk
+}
+
+type faultFS struct {
+	inner statestore.FS
+	in    *Injector
+}
+
+func (f *faultFS) wrap(file statestore.File, err error) (statestore.File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, in: f.in}, nil
+}
+
+func (f *faultFS) OpenAppend(name string) (statestore.File, error) {
+	return f.wrap(f.inner.OpenAppend(name))
+}
+
+func (f *faultFS) Create(name string) (statestore.File, error) {
+	return f.wrap(f.inner.Create(name))
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *faultFS) Rename(oldname, newname string) error { return f.inner.Rename(oldname, newname) }
+
+func (f *faultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *faultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+
+func (f *faultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *faultFS) SyncDir(dir string) error {
+	if f.in.rollDisk() {
+		f.in.syncErrors.Add(1)
+		return ErrInjectedDisk
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	inner statestore.File
+	in    *Injector
+}
+
+// Write tears the write when the injector fires: a strict prefix
+// reaches the file, then the error surfaces — exactly the shape a
+// crash mid-write leaves in a WAL.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.in.rollDisk() {
+		f.in.shortWrites.Add(1)
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := f.inner.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, ErrInjectedDisk
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.in.rollDisk() {
+		f.in.syncErrors.Add(1)
+		return ErrInjectedDisk
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

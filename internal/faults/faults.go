@@ -47,11 +47,16 @@ type Spec struct {
 	Latency float64
 	// LatencyDur is the injected delay (default 10ms when Latency>0).
 	LatencyDur time.Duration
+	// Disk makes a wrapped statestore filesystem misbehave: each write
+	// or fsync fails with this probability (writes tear — only a prefix
+	// lands — and fsyncs error), exercising the WAL's torn-tail
+	// recovery and the journal's error accounting.
+	Disk float64
 }
 
 // Active reports whether any injection can fire.
 func (s Spec) Active() bool {
-	return s.Hang > 0 || s.Panic > 0 || s.Error > 0 || s.Latency > 0
+	return s.Hang > 0 || s.Panic > 0 || s.Error > 0 || s.Latency > 0 || s.Disk > 0
 }
 
 // String renders the spec in ParseSpec syntax.
@@ -71,6 +76,7 @@ func (s Spec) String() string {
 	if s.Latency > 0 {
 		parts = append(parts, fmt.Sprintf("latency=%g:%s", s.Latency, s.LatencyDur))
 	}
+	add("disk", s.Disk)
 	return strings.Join(parts, ",")
 }
 
@@ -109,8 +115,10 @@ func ParseSpec(text string) (Spec, error) {
 				}
 				s.LatencyDur = d
 			}
+		case "disk":
+			s.Disk = p
 		default:
-			return Spec{}, fmt.Errorf("faults: unknown injector %q (want hang|panic|error|latency)", name)
+			return Spec{}, fmt.Errorf("faults: unknown injector %q (want hang|panic|error|latency|disk)", name)
 		}
 		if hasDur && name != "latency" {
 			return Spec{}, fmt.Errorf("faults: duration suffix only valid for latency, got %q", part)
@@ -140,6 +148,9 @@ type Stats struct {
 	Panics    uint64
 	Errors    uint64
 	Latencies uint64
+	// ShortWrites and SyncErrors count disk-fault injections (FS).
+	ShortWrites uint64
+	SyncErrors  uint64
 }
 
 // Injector rolls injection decisions from one seeded PRNG and wraps
@@ -150,11 +161,13 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	calls     atomic.Uint64
-	hangs     atomic.Uint64
-	panics    atomic.Uint64
-	errors    atomic.Uint64
-	latencies atomic.Uint64
+	calls       atomic.Uint64
+	hangs       atomic.Uint64
+	panics      atomic.Uint64
+	errors      atomic.Uint64
+	latencies   atomic.Uint64
+	shortWrites atomic.Uint64
+	syncErrors  atomic.Uint64
 }
 
 // New returns an injector drawing from rand.NewSource(seed).
@@ -168,11 +181,13 @@ func (in *Injector) Spec() Spec { return in.spec }
 // Stats returns the injection counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		Calls:     in.calls.Load(),
-		Hangs:     in.hangs.Load(),
-		Panics:    in.panics.Load(),
-		Errors:    in.errors.Load(),
-		Latencies: in.latencies.Load(),
+		Calls:       in.calls.Load(),
+		Hangs:       in.hangs.Load(),
+		Panics:      in.panics.Load(),
+		Errors:      in.errors.Load(),
+		Latencies:   in.latencies.Load(),
+		ShortWrites: in.shortWrites.Load(),
+		SyncErrors:  in.syncErrors.Load(),
 	}
 }
 

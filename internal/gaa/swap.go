@@ -1,0 +1,84 @@
+package gaa
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gaaapi/internal/eacl"
+)
+
+// SwappableSource is a PolicySource indirection whose backing source
+// can be replaced atomically — the seam hot policy reload swaps through
+// once the new policy set has passed analysis. Revisions are prefixed
+// with a swap generation, so the policy cache invalidates on every
+// swap even when the old and new backing sources report identical
+// revision strings (e.g. two fresh MemorySources both at "mem-1").
+type SwappableSource struct {
+	mu    sync.Mutex // writers (Swap) only
+	state atomic.Pointer[swapSourceState]
+}
+
+type swapSourceState struct {
+	src    PolicySource
+	gen    uint64
+	prefix string
+	// revCache holds the last (inner, full) revision pair so the cache
+	// hit path stays allocation-free for sources with object-independent
+	// revisions (MemorySource).
+	revCache atomic.Pointer[[2]string]
+}
+
+// NewSwappableSource wraps src as generation 1.
+func NewSwappableSource(src PolicySource) *SwappableSource {
+	s := &SwappableSource{}
+	s.state.Store(newSwapSourceState(src, 1))
+	return s
+}
+
+func newSwapSourceState(src PolicySource, gen uint64) *swapSourceState {
+	return &swapSourceState{src: src, gen: gen, prefix: "g" + strconv.FormatUint(gen, 10) + "|"}
+}
+
+// Current returns the backing source.
+func (s *SwappableSource) Current() PolicySource {
+	return s.state.Load().src
+}
+
+// Generation returns the current swap generation (starts at 1, bumps
+// on every Swap).
+func (s *SwappableSource) Generation() uint64 {
+	return s.state.Load().gen
+}
+
+// Swap atomically replaces the backing source, returning the displaced
+// source and the new generation. In-flight requests keep evaluating
+// against the source they loaded; new requests see the replacement.
+func (s *SwappableSource) Swap(next PolicySource) (prev PolicySource, gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.state.Load()
+	s.state.Store(newSwapSourceState(next, old.gen+1))
+	return old.src, old.gen + 1
+}
+
+// Policies implements PolicySource.
+func (s *SwappableSource) Policies(object string) ([]*eacl.EACL, error) {
+	return s.state.Load().src.Policies(object)
+}
+
+// Revision implements PolicySource: the backing revision behind a
+// generation prefix.
+func (s *SwappableSource) Revision(object string) (string, error) {
+	st := s.state.Load()
+	inner, err := st.src.Revision(object)
+	if err != nil {
+		return "", err
+	}
+	if c := st.revCache.Load(); c != nil && c[0] == inner {
+		return c[1], nil
+	}
+	full := st.prefix + inner
+	st.revCache.Store(&[2]string{inner, full})
+	return full, nil
+}

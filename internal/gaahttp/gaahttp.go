@@ -59,6 +59,12 @@ type Config struct {
 	// SensitiveObjects are glob patterns whose denials are reported as
 	// sensitive-access denials (section 3 item 3).
 	SensitiveObjects []string
+
+	// Health, when non-nil, receives one observation per request:
+	// bad when the decision degraded (MAYBE, evaluator faults, or a
+	// retrieval error). The reload health probe reads this to decide
+	// post-swap rollbacks.
+	Health HealthObserver
 }
 
 // Guard implements httpd.Guard over the GAA-API.
@@ -122,6 +128,7 @@ func (g *Guard) Check(rec *httpd.RequestRec) httpd.Verdict {
 	ctx := context.Background()
 	policy, err := g.cfg.API.GetObjectPolicyInfo(rec.Object(), g.cfg.System, g.cfg.Local)
 	if err != nil {
+		g.observe(true)
 		// Fail closed: a retrieval error must not grant access.
 		return httpd.Verdict{Status: httpd.Forbidden("policy retrieval: " + err.Error())}
 	}
@@ -132,8 +139,10 @@ func (g *Guard) Check(rec *httpd.RequestRec) httpd.Verdict {
 	}
 	ans, err := g.cfg.API.CheckAuthorization(ctx, policy, req)
 	if err != nil {
+		g.observe(true)
 		return httpd.Verdict{Status: httpd.Forbidden("authorization: " + err.Error())}
 	}
+	g.observe(ans.Decision == gaa.Maybe || len(ans.Faults) > 0)
 
 	g.report(rec, ans)
 	g.auditDecision(rec, ans)
@@ -155,6 +164,13 @@ func (g *Guard) Check(rec *httpd.RequestRec) httpd.Verdict {
 		}
 	}
 	return verdict
+}
+
+// observe reports one request-health observation to the reload probe.
+func (g *Guard) observe(bad bool) {
+	if g.cfg.Health != nil {
+		g.cfg.Health.Observe(bad)
+	}
 }
 
 // translate maps the GAA answer to the web server's status vocabulary

@@ -14,6 +14,7 @@ import (
 	"gaaapi/internal/ids"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
+	"gaaapi/internal/statestore"
 )
 
 // StackConfig describes a complete protected-web-server deployment.
@@ -67,6 +68,20 @@ type StackConfig struct {
 	// ReliableNotify wraps the transport in notify.NewReliable
 	// (bounded retry + circuit breaker); the handle is Stack.Reliable.
 	ReliableNotify bool
+
+	// StateDir, when non-empty, makes the adaptive state (blocks,
+	// threat level, lockout counters, blacklist groups) crash-safe:
+	// mutations are journaled to a WAL under the directory and a
+	// restart restores them (internal/statestore).
+	StateDir string
+	// Fsync is the WAL flush policy: "always", "interval" (default) or
+	// "never".
+	Fsync string
+	// SnapshotEvery compacts the WAL after this many records (default
+	// 4096).
+	SnapshotEvery int
+	// StoreFS overrides the store's filesystem (disk-fault drills).
+	StoreFS statestore.FS
 }
 
 // Stack is a fully wired deployment: the GAA-API with all built-in
@@ -91,6 +106,18 @@ type Stack struct {
 	Values   *gaa.Values
 	System   *gaa.MemorySource
 	Local    *gaa.MemorySource
+
+	// SystemSwap and LocalSwap are the live policy swap points the
+	// guard serves from; Reloader swaps validated bundles through them.
+	SystemSwap *gaa.SwappableSource
+	LocalSwap  *gaa.SwappableSource
+	// Reloader validates and applies hot policy reloads; its Health
+	// window drives the post-swap rollback probe.
+	Reloader *Reloader
+	// Store and Persist are the crash-safe state store and its adaptive
+	// wiring (nil without StateDir).
+	Store   *statestore.Store
+	Persist *statestore.Adaptive
 
 	async *notify.Async
 }
@@ -119,6 +146,37 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	}
 	for name, value := range cfg.RuntimeValues {
 		st.Values.Set(name, value)
+	}
+
+	// Crash-safe adaptive state: restore what a previous process
+	// journaled, then journal every further mutation. Must happen
+	// before any traffic mutates the components.
+	if cfg.StateDir != "" {
+		fsyncPolicy, err := statestore.ParseFsyncPolicy(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		store, err := statestore.Open(cfg.StateDir, statestore.Options{
+			Fsync:         fsyncPolicy,
+			SnapshotEvery: cfg.SnapshotEvery,
+			FS:            cfg.StoreFS,
+			Clock:         clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		persist, err := statestore.Attach(store, statestore.Components{
+			Blocks:   st.Blocks,
+			Threat:   st.Threat,
+			Counters: st.Counters,
+			Groups:   st.Groups,
+			Clock:    clock,
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		st.Store, st.Persist = store, persist
 	}
 
 	var apiOpts []gaa.Option
@@ -173,16 +231,27 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		}
 	}
 
+	// The guard serves through swap points so a validated policy
+	// reload can replace both source levels atomically.
+	st.SystemSwap = gaa.NewSwappableSource(st.System)
+	st.LocalSwap = gaa.NewSwappableSource(st.Local)
+	st.Reloader = NewReloader(ReloadConfig{
+		System: st.SystemSwap,
+		Local:  st.LocalSwap,
+		Known:  st.API.Known,
+	})
+
 	st.Guard = New(Config{
 		API:              st.API,
-		System:           []gaa.PolicySource{st.System},
-		Local:            []gaa.PolicySource{st.Local},
+		System:           []gaa.PolicySource{st.SystemSwap},
+		Local:            []gaa.PolicySource{st.LocalSwap},
 		Bus:              st.Bus,
 		Signatures:       st.Sigs,
 		Network:          st.Network,
 		Anomaly:          st.Anomaly,
 		Audit:            st.Audit,
 		SensitiveObjects: cfg.SensitiveObjects,
+		Health:           st.Reloader,
 	})
 
 	htauth := httpd.NewHtpasswd()
@@ -208,9 +277,23 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	return st, nil
 }
 
-// Close releases background workers (the async notifier).
+// ReloadPolicies parses, analyzes, and — if clean at severity <
+// error — atomically applies a replacement policy set. On rejection
+// the running policies are untouched and the result carries the
+// diagnostics.
+func (s *Stack) ReloadPolicies(system string, locals map[string]string) ReloadResult {
+	return s.Reloader.ReloadWith(func() (*PolicyBundle, error) {
+		return BundleFromStrings(system, locals)
+	})
+}
+
+// Close releases background workers (the async notifier) and flushes
+// the state store.
 func (s *Stack) Close() {
 	if s.async != nil {
 		s.async.Close()
+	}
+	if s.Store != nil {
+		s.Store.Close()
 	}
 }

@@ -17,8 +17,18 @@ import (
 
 // Store is a concurrent-safe named-group membership store.
 type Store struct {
-	mu     sync.RWMutex
-	groups map[string]map[string]struct{}
+	mu      sync.RWMutex
+	groups  map[string]map[string]struct{}
+	journal func(Event)
+}
+
+// Event describes one membership mutation for persistence.
+type Event struct {
+	// Group and Member identify the membership.
+	Group  string `json:"group"`
+	Member string `json:"member"`
+	// Remove marks a removal instead of an addition.
+	Remove bool `json:"remove,omitempty"`
 }
 
 // NewStore returns an empty store.
@@ -26,35 +36,54 @@ func NewStore() *Store {
 	return &Store{groups: make(map[string]map[string]struct{})}
 }
 
+// SetJournal installs a hook receiving every effective mutation
+// (no-op adds and removes are not journaled), for persistence.
+func (s *Store) SetJournal(fn func(Event)) {
+	s.mu.Lock()
+	s.journal = fn
+	s.mu.Unlock()
+}
+
 // Add puts member into group, creating the group as needed, and
 // reports whether the membership is new.
 func (s *Store) Add(group, member string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	g, ok := s.groups[group]
 	if !ok {
 		g = make(map[string]struct{})
 		s.groups[group] = g
 	}
 	if _, exists := g[member]; exists {
+		s.mu.Unlock()
 		return false
 	}
 	g[member] = struct{}{}
+	journal := s.journal
+	s.mu.Unlock()
+	if journal != nil {
+		journal(Event{Group: group, Member: member})
+	}
 	return true
 }
 
 // Remove deletes member from group and reports whether it was present.
 func (s *Store) Remove(group, member string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	g, ok := s.groups[group]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	if _, exists := g[member]; !exists {
+		s.mu.Unlock()
 		return false
 	}
 	delete(g, member)
+	journal := s.journal
+	s.mu.Unlock()
+	if journal != nil {
+		journal(Event{Group: group, Member: member, Remove: true})
+	}
 	return true
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Level is the system threat level supplied by the IDS (paper section
@@ -61,19 +62,49 @@ type LevelProvider interface {
 	Level() Level
 }
 
+// Transition is one recorded threat-level change, the escalation
+// history persistence restores across restarts.
+type Transition struct {
+	// From and To are the levels before and after the change.
+	From Level `json:"from"`
+	To   Level `json:"to"`
+	// At is when the change happened.
+	At time.Time `json:"at"`
+}
+
+// historyCap bounds the retained escalation history.
+const historyCap = 64
+
 // Manager holds the current system threat level and notifies
 // subscribers of changes. It is safe for concurrent use.
 type Manager struct {
-	mu    sync.RWMutex
-	level Level
-	subs  map[int]chan Level
-	next  int
+	clock func() time.Time
+
+	mu      sync.RWMutex
+	level   Level
+	history []Transition
+	subs    map[int]*levelSub
+	next    int
+	journal func(Transition)
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithManagerClock overrides the time source used to stamp the
+// escalation history (tests, persistence).
+func WithManagerClock(now func() time.Time) ManagerOption {
+	return func(m *Manager) { m.clock = now }
 }
 
 // NewManager returns a manager starting at the given level (use Low for
 // normal operation).
-func NewManager(initial Level) *Manager {
-	return &Manager{level: initial, subs: make(map[int]chan Level)}
+func NewManager(initial Level, opts ...ManagerOption) *Manager {
+	m := &Manager{level: initial, subs: make(map[int]*levelSub), clock: time.Now}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
 }
 
 // Level implements LevelProvider.
@@ -83,30 +114,66 @@ func (m *Manager) Level() Level {
 	return m.level
 }
 
+// History returns the recorded level transitions, oldest first (bounded
+// to the most recent changes).
+func (m *Manager) History() []Transition {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Transition, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// SetJournal installs a hook receiving every level transition, for
+// persistence. Restore* calls are not journaled.
+func (m *Manager) SetJournal(fn func(Transition)) {
+	m.mu.Lock()
+	m.journal = fn
+	m.mu.Unlock()
+}
+
+// Restore sets the level and history without notifying the journal;
+// subscribers still observe the change. It is how persistence replays
+// recovered state.
+func (m *Manager) Restore(level Level, history []Transition) {
+	m.mu.Lock()
+	if len(history) > historyCap {
+		history = history[len(history)-historyCap:]
+	}
+	m.history = append(m.history[:0], history...)
+	m.mu.Unlock()
+	m.set(level, false)
+}
+
 // Set changes the threat level and notifies subscribers. Setting the
 // current level is a no-op.
-func (m *Manager) Set(l Level) {
+func (m *Manager) Set(l Level) { m.set(l, true) }
+
+func (m *Manager) set(l Level, journaled bool) {
 	m.mu.Lock()
 	if m.level == l {
 		m.mu.Unlock()
 		return
 	}
+	tr := Transition{From: m.level, To: l, At: m.clock()}
 	m.level = l
-	subs := make([]chan Level, 0, len(m.subs))
-	for _, ch := range m.subs {
-		subs = append(subs, ch)
+	if journaled {
+		m.history = append(m.history, tr)
+		if len(m.history) > historyCap {
+			m.history = m.history[len(m.history)-historyCap:]
+		}
+	}
+	journal := m.journal
+	subs := make([]*levelSub, 0, len(m.subs))
+	for _, sub := range m.subs {
+		subs = append(subs, sub)
 	}
 	m.mu.Unlock()
-	for _, ch := range subs {
-		// Latest-wins: drop a pending stale value, then send.
-		select {
-		case <-ch:
-		default:
-		}
-		select {
-		case ch <- l:
-		default:
-		}
+	if journaled && journal != nil {
+		journal(tr)
+	}
+	for _, sub := range subs {
+		sub.send(l)
 	}
 }
 
@@ -123,20 +190,65 @@ func (m *Manager) Escalate(l Level) bool {
 	return true
 }
 
+// levelSub guards one subscription channel: sends and the single close
+// serialize on the sub's own mutex, so a cancel racing a Set can never
+// panic a send on a closed channel, and the channel is closed exactly
+// once.
+type levelSub struct {
+	mu     sync.Mutex
+	ch     chan Level
+	closed bool
+}
+
+// send delivers latest-wins: a pending stale value is dropped first.
+func (s *levelSub) send(l Level) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case <-s.ch:
+	default:
+	}
+	select {
+	case s.ch <- l:
+	default:
+	}
+}
+
+// close drains and closes the channel exactly once.
+func (s *levelSub) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	select {
+	case <-s.ch:
+	default:
+	}
+	close(s.ch)
+}
+
 // Subscribe returns a channel receiving level changes (latest value
 // wins; intermediate values may be skipped) and a cancel function that
-// must be called to release the subscription.
+// must be called to release the subscription. Cancel is idempotent and
+// safe against concurrent Set calls: the channel is drained and closed
+// exactly once, and no send can race the close.
 func (m *Manager) Subscribe() (<-chan Level, func()) {
-	ch := make(chan Level, 1)
+	sub := &levelSub{ch: make(chan Level, 1)}
 	m.mu.Lock()
 	id := m.next
 	m.next++
-	m.subs[id] = ch
+	m.subs[id] = sub
 	m.mu.Unlock()
 	cancel := func() {
 		m.mu.Lock()
 		delete(m.subs, id)
 		m.mu.Unlock()
+		sub.close()
 	}
-	return ch, cancel
+	return sub.ch, cancel
 }

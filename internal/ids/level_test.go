@@ -3,6 +3,7 @@ package ids
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestParseLevel(t *testing.T) {
@@ -92,10 +93,10 @@ func TestManagerSubscribeCancel(t *testing.T) {
 	ch, cancel := m.Subscribe()
 	cancel()
 	m.Set(High)
-	select {
-	case <-ch:
-		t.Error("cancelled subscription still receiving")
-	default:
+	// Cancel closes the channel (so consumer loops terminate); no level
+	// may be delivered after it.
+	if l, ok := <-ch; ok {
+		t.Errorf("cancelled subscription still receiving: %v", l)
 	}
 }
 
@@ -125,5 +126,121 @@ func TestManagerConcurrency(t *testing.T) {
 	wg.Wait()
 	if l := m.Level(); l < Low || l > High {
 		t.Errorf("level out of range after concurrent use: %v", l)
+	}
+}
+
+// TestSubscribeCancelUnderConcurrentSet is the subscription leak/race
+// test: cancels racing concurrent Set calls must never deadlock, never
+// panic (send on closed channel), and must close each channel exactly
+// once so a range over it terminates.
+func TestSubscribeCancelUnderConcurrentSet(t *testing.T) {
+	m := NewManager(Low)
+	stop := make(chan struct{})
+	var setters sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		setters.Add(1)
+		go func(w int) {
+			defer setters.Done()
+			levels := []Level{Low, Medium, High}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Set(levels[(i+w)%len(levels)])
+			}
+		}(w)
+	}
+
+	var subs sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			ch, cancel := m.Subscribe()
+			// Consume a little, then cancel while Sets are in flight.
+			for j := 0; j < 3; j++ {
+				select {
+				case <-ch:
+				default:
+				}
+			}
+			cancel()
+			cancel() // idempotent
+			// The channel must be closed: this range must terminate.
+			for range ch {
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { subs.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription cancels deadlocked under concurrent Set")
+	}
+	close(stop)
+	setters.Wait()
+
+	// No leaked subscriptions: a fresh Set must not block on remnants.
+	m.Set(Low)
+	m.Set(High)
+}
+
+func TestManagerHistoryAndRestore(t *testing.T) {
+	at := time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)
+	m := NewManager(Low, WithManagerClock(func() time.Time { return at }))
+	m.Set(Medium)
+	m.Set(High)
+	h := m.History()
+	if len(h) != 2 || h[0].From != Low || h[0].To != Medium || h[1].To != High {
+		t.Fatalf("history = %+v", h)
+	}
+	if !h[0].At.Equal(at) {
+		t.Fatalf("transition stamped %v, want %v", h[0].At, at)
+	}
+
+	// Restore must set level + history without journaling, and still
+	// notify subscribers.
+	var journaled []Transition
+	m2 := NewManager(Low)
+	m2.SetJournal(func(tr Transition) { journaled = append(journaled, tr) })
+	ch, cancel := m2.Subscribe()
+	defer cancel()
+	m2.Restore(High, h)
+	if m2.Level() != High {
+		t.Fatalf("restored level = %v, want High", m2.Level())
+	}
+	if got := m2.History(); len(got) != 2 {
+		t.Fatalf("restored history = %+v", got)
+	}
+	if len(journaled) != 0 {
+		t.Fatalf("Restore was journaled: %+v (would loop replay back into the WAL)", journaled)
+	}
+	select {
+	case l := <-ch:
+		if l != High {
+			t.Fatalf("subscriber got %v, want High", l)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Restore did not notify subscribers")
+	}
+	// A journaled Set after restore extends the restored history.
+	m2.Set(Low)
+	if len(journaled) != 1 || journaled[0].From != High || journaled[0].To != Low {
+		t.Fatalf("post-restore Set journaled %+v", journaled)
+	}
+}
+
+func TestHistoryCapBounded(t *testing.T) {
+	m := NewManager(Low)
+	levels := []Level{Medium, High, Low}
+	for i := 0; i < historyCap*2; i++ {
+		m.Set(levels[i%len(levels)])
+	}
+	if got := len(m.History()); got != historyCap {
+		t.Fatalf("history grew to %d, want cap %d", got, historyCap)
 	}
 }

@@ -20,6 +20,32 @@ type Set struct {
 	mu    sync.Mutex
 	hosts map[string]time.Time // ip -> expiry (zero = permanent)
 	nets  []blockedNet
+
+	journal func(Event)
+}
+
+// Event describes one mutation for persistence: a block (with its
+// absolute expiry; zero = permanent) or an unblock. Journal hooks
+// receive events after the mutation is applied, outside the set's
+// lock.
+type Event struct {
+	// Unblock marks a removal; otherwise the event is a block.
+	Unblock bool `json:"unblock,omitempty"`
+	// Addr is the blocked IP, CIDR, or opaque host string.
+	Addr string `json:"addr"`
+	// Expiry is the absolute deadline (zero = permanent).
+	Expiry time.Time `json:"expiry,omitempty"`
+}
+
+// Entry is one live block with its remaining lifetime, for status
+// endpoints and persistence.
+type Entry struct {
+	// Addr is the blocked IP, CIDR, or opaque host string.
+	Addr string `json:"addr"`
+	// Permanent marks a block with no expiry.
+	Permanent bool `json:"permanent,omitempty"`
+	// Expiry is the absolute deadline (zero when Permanent).
+	Expiry time.Time `json:"expiry,omitempty"`
 }
 
 type blockedNet struct {
@@ -49,6 +75,15 @@ func NewSet(opts ...Option) *Set {
 	return s
 }
 
+// SetJournal installs a hook receiving every mutation, for
+// persistence. Restores (BlockUntil during recovery, before the hook
+// is installed) are not journaled.
+func (s *Set) SetJournal(fn func(Event)) {
+	s.mu.Lock()
+	s.journal = fn
+	s.mu.Unlock()
+}
+
 // Block adds addr — a single IP or a CIDR range — for the given
 // duration; d <= 0 blocks permanently. Unparsable addresses are blocked
 // as opaque host strings so a malformed-but-repeating client still gets
@@ -58,21 +93,44 @@ func (s *Set) Block(addr string, d time.Duration) {
 	if d > 0 {
 		expiry = s.clock().Add(d)
 	}
+	s.BlockUntil(addr, expiry)
+}
+
+// BlockUntil adds addr with an absolute expiry (zero = permanent); it
+// is how persistence restores blocks with their original deadlines.
+// Re-blocking an already blocked address updates its expiry, so replay
+// is idempotent.
+func (s *Set) BlockUntil(addr string, expiry time.Time) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	applied := false
 	if strings.Contains(addr, "/") {
 		if _, ipnet, err := net.ParseCIDR(addr); err == nil {
-			s.nets = append(s.nets, blockedNet{cidr: addr, ipnet: ipnet, expiry: expiry})
-			return
+			for i := range s.nets {
+				if s.nets[i].cidr == addr {
+					s.nets[i].expiry = expiry
+					applied = true
+					break
+				}
+			}
+			if !applied {
+				s.nets = append(s.nets, blockedNet{cidr: addr, ipnet: ipnet, expiry: expiry})
+			}
+			applied = true
 		}
 	}
-	s.hosts[addr] = expiry
+	if !applied {
+		s.hosts[addr] = expiry
+	}
+	journal := s.journal
+	s.mu.Unlock()
+	if journal != nil {
+		journal(Event{Addr: addr, Expiry: expiry})
+	}
 }
 
 // Unblock removes a previously blocked address or CIDR.
 func (s *Set) Unblock(addr string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.hosts, addr)
 	kept := s.nets[:0]
 	for _, n := range s.nets {
@@ -81,6 +139,11 @@ func (s *Set) Unblock(addr string) {
 		}
 	}
 	s.nets = kept
+	journal := s.journal
+	s.mu.Unlock()
+	if journal != nil {
+		journal(Event{Unblock: true, Addr: addr})
+	}
 }
 
 // Blocked reports whether ip is currently blocked, expiring stale
@@ -111,27 +174,45 @@ func (s *Set) Blocked(ip string) bool {
 	return blocked
 }
 
-// List returns the currently blocked addresses and CIDRs, sorted.
-func (s *Set) List() []string {
+// Entries returns the live blocks with their deadlines, sorted by
+// address then expiry, so persistence snapshots and status output are
+// deterministic.
+func (s *Set) Entries() []Entry {
 	now := s.clock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []string
+	var out []Entry
 	for h, expiry := range s.hosts {
 		if expiry.IsZero() || now.Before(expiry) {
-			out = append(out, h)
+			out = append(out, Entry{Addr: h, Permanent: expiry.IsZero(), Expiry: expiry})
 		}
 	}
 	for _, n := range s.nets {
 		if n.expiry.IsZero() || now.Before(n.expiry) {
-			out = append(out, n.cidr)
+			out = append(out, Entry{Addr: n.cidr, Permanent: n.expiry.IsZero(), Expiry: n.expiry})
 		}
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Expiry.Before(out[j].Expiry)
+	})
+	return out
+}
+
+// List returns the currently blocked addresses and CIDRs, in the same
+// deterministic order as Entries.
+func (s *Set) List() []string {
+	entries := s.Entries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Addr
+	}
 	return out
 }
 
 // Len returns the number of live block entries.
 func (s *Set) Len() int {
-	return len(s.List())
+	return len(s.Entries())
 }

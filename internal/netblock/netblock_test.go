@@ -115,3 +115,91 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestEntriesDeterministicOrder(t *testing.T) {
+	now := time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)
+	s := NewSet(WithClock(func() time.Time { return now }))
+	s.Block("203.0.113.9", time.Hour)
+	s.Block("10.0.0.0/8", 0)
+	s.Block("192.168.1.1", 0)
+	s.Block("172.16.0.1", 30*time.Minute)
+
+	want := []string{"10.0.0.0/8", "172.16.0.1", "192.168.1.1", "203.0.113.9"}
+	for i := 0; i < 5; i++ {
+		got := s.List()
+		if len(got) != len(want) {
+			t.Fatalf("List() = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("List()[%d] = %q, want %q (must be sorted)", j, got[j], want[j])
+			}
+		}
+	}
+
+	entries := s.Entries()
+	if !entries[0].Permanent || !entries[0].Expiry.IsZero() {
+		t.Fatalf("permanent CIDR entry = %+v", entries[0])
+	}
+	if entries[1].Permanent || !entries[1].Expiry.Equal(now.Add(30*time.Minute)) {
+		t.Fatalf("timed entry = %+v, want expiry %v", entries[1], now.Add(30*time.Minute))
+	}
+}
+
+func TestEntriesOmitExpired(t *testing.T) {
+	now := time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	s := NewSet(WithClock(clock))
+	s.Block("10.0.0.1", time.Minute)
+	s.Block("10.0.0.0/24", time.Minute)
+	s.Block("10.0.0.2", 0)
+	now = now.Add(time.Hour)
+	if got := s.Entries(); len(got) != 1 || got[0].Addr != "10.0.0.2" {
+		t.Fatalf("Entries() after expiry = %+v, want only the permanent block", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", s.Len())
+	}
+}
+
+func TestBlockUntilIdempotentReplay(t *testing.T) {
+	now := time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)
+	s := NewSet(WithClock(func() time.Time { return now }))
+	exp1 := now.Add(time.Hour)
+	exp2 := now.Add(2 * time.Hour)
+	// Replaying the same address twice must update in place, not grow.
+	s.BlockUntil("10.0.0.1", exp1)
+	s.BlockUntil("10.0.0.1", exp2)
+	s.BlockUntil("10.0.0.0/24", exp1)
+	s.BlockUntil("10.0.0.0/24", exp2)
+	entries := s.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("replayed duplicates grew the set: %+v", entries)
+	}
+	for _, e := range entries {
+		if !e.Expiry.Equal(exp2) {
+			t.Fatalf("entry %q expiry %v, want the later replay %v", e.Addr, e.Expiry, exp2)
+		}
+	}
+}
+
+func TestJournalReceivesMutations(t *testing.T) {
+	s := NewSet()
+	var events []Event
+	s.SetJournal(func(ev Event) { events = append(events, ev) })
+	s.Block("10.0.0.1", time.Hour)
+	s.Block("10.0.0.2", 0)
+	s.Unblock("10.0.0.1")
+	if len(events) != 3 {
+		t.Fatalf("journaled %d events, want 3", len(events))
+	}
+	if events[0].Unblock || events[0].Addr != "10.0.0.1" || events[0].Expiry.IsZero() {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if !events[1].Expiry.IsZero() {
+		t.Fatalf("permanent block journaled with expiry: %+v", events[1])
+	}
+	if !events[2].Unblock {
+		t.Fatalf("unblock not journaled: %+v", events[2])
+	}
+}

@@ -1,0 +1,78 @@
+package statestore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store writes through. It
+// exists so fault drills can inject short writes, fsync errors, and
+// torn tails (internal/faults wraps it); production code uses OS.
+type FS interface {
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name; removing a missing file is not an error.
+	Remove(name string) error
+	// Truncate shrinks name to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory path.
+	MkdirAll(dir string) error
+	// SyncDir flushes directory metadata (renames) to stable storage.
+	// Implementations may make it a no-op where unsupported.
+	SyncDir(dir string) error
+}
+
+// File is a writable store file.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+}
+
+// OS is the production FS backed by package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Directory fsync is best-effort: some platforms reject it.
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package statestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/netblock"
+)
+
+// Record kinds journaled by the adaptive wiring.
+const (
+	kindBlock   = "block"
+	kindThreat  = "threat"
+	kindCounter = "count"
+	kindGroup   = "group"
+)
+
+// Components are the adaptive-state holders a store keeps durable. Any
+// field may be nil; it is then neither restored nor journaled.
+type Components struct {
+	// Blocks is the firewall-facing block set; restarts restore blocks
+	// with their original expiries.
+	Blocks *netblock.Set
+	// Threat is the system threat level plus its escalation history.
+	Threat *ids.Manager
+	// Counters are the lockout/failure sliding-window counters;
+	// restarts restore in-flight lockouts with original timestamps.
+	Counters *conditions.Counters
+	// Groups is the dynamic blacklist store ("BadGuys").
+	Groups *groups.Store
+	// Clock overrides time.Now for expiry pruning (tests).
+	Clock func() time.Time
+}
+
+// stateSnapshot is the JSON shape of a compacted snapshot.
+type stateSnapshot struct {
+	Blocks   []netblock.Entry       `json:"blocks,omitempty"`
+	Threat   *threatState           `json:"threat,omitempty"`
+	Counters map[string][]time.Time `json:"counters,omitempty"`
+	Groups   map[string][]string    `json:"groups,omitempty"`
+}
+
+type threatState struct {
+	Level   string           `json:"level"`
+	History []ids.Transition `json:"history,omitempty"`
+}
+
+// Adaptive binds a Store to live components: recovery replays the
+// snapshot plus the WAL tail into them, then every further mutation is
+// journaled, and compaction snapshots their current state.
+type Adaptive struct {
+	store *Store
+	c     Components
+
+	journalErrors atomic.Uint64
+	restored      RestoreSummary
+}
+
+// RestoreSummary describes what Attach put back into the components.
+type RestoreSummary struct {
+	// Blocks is the number of live blocks restored.
+	Blocks int `json:"blocks"`
+	// ExpiredBlocks counts persisted blocks already past their deadline
+	// at restore time (dropped).
+	ExpiredBlocks int `json:"expired_blocks,omitempty"`
+	// ThreatLevel is the restored level ("" when none was persisted).
+	ThreatLevel string `json:"threat_level,omitempty"`
+	// CounterEvents is the number of replayed counter events.
+	CounterEvents int `json:"counter_events"`
+	// GroupMembers is the number of restored group memberships.
+	GroupMembers int `json:"group_members"`
+}
+
+// Attach restores the store's recovered state into the components and
+// wires their journals into the store. Call once, before serving
+// traffic.
+func Attach(store *Store, c Components) (*Adaptive, error) {
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	a := &Adaptive{store: store, c: c}
+
+	if raw, ok := store.SnapshotData(); ok {
+		var snap stateSnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("statestore: decode snapshot state: %w", err)
+		}
+		a.applySnapshot(&snap)
+	}
+	for _, rec := range store.Tail() {
+		if err := a.applyRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	// Journal hooks go in after restore so replay is not re-journaled.
+	if c.Blocks != nil {
+		c.Blocks.SetJournal(func(ev netblock.Event) { a.append(kindBlock, ev) })
+	}
+	if c.Threat != nil {
+		c.Threat.SetJournal(func(tr ids.Transition) { a.append(kindThreat, tr) })
+	}
+	if c.Counters != nil {
+		c.Counters.SetJournal(func(ev conditions.CounterEvent) { a.append(kindCounter, ev) })
+	}
+	if c.Groups != nil {
+		c.Groups.SetJournal(func(ev groups.Event) { a.append(kindGroup, ev) })
+	}
+	store.SetSnapshotFunc(a.snapshot)
+	return a, nil
+}
+
+// append journals one mutation; failures (disk faults) are counted,
+// not propagated — the server keeps enforcing from memory.
+func (a *Adaptive) append(kind string, v any) {
+	if err := a.store.Append(kind, v); err != nil {
+		a.journalErrors.Add(1)
+	}
+}
+
+// JournalErrors returns the count of appends lost to disk faults.
+func (a *Adaptive) JournalErrors() uint64 { return a.journalErrors.Load() }
+
+// Restored returns what Attach recovered into the components.
+func (a *Adaptive) Restored() RestoreSummary { return a.restored }
+
+func (a *Adaptive) applySnapshot(snap *stateSnapshot) {
+	now := a.c.Clock()
+	if a.c.Blocks != nil {
+		for _, e := range snap.Blocks {
+			if !e.Permanent && !e.Expiry.IsZero() && !now.Before(e.Expiry) {
+				a.restored.ExpiredBlocks++
+				continue
+			}
+			a.c.Blocks.BlockUntil(e.Addr, e.Expiry)
+			a.restored.Blocks++
+		}
+	}
+	if a.c.Threat != nil && snap.Threat != nil {
+		if level, err := ids.ParseLevel(snap.Threat.Level); err == nil {
+			a.c.Threat.Restore(level, snap.Threat.History)
+			a.restored.ThreatLevel = level.String()
+		}
+	}
+	if a.c.Counters != nil {
+		for key, series := range snap.Counters {
+			for _, at := range series {
+				a.c.Counters.RestoreEvent(key, at)
+				a.restored.CounterEvents++
+			}
+		}
+	}
+	if a.c.Groups != nil {
+		for group, members := range snap.Groups {
+			for _, m := range members {
+				a.c.Groups.Add(group, m)
+				a.restored.GroupMembers++
+			}
+		}
+	}
+}
+
+// applyRecord replays one WAL record. Unknown kinds are skipped (a
+// newer version may have written them); malformed payloads in a valid
+// frame are an error — the CRC said these bytes are what we wrote.
+func (a *Adaptive) applyRecord(rec Record) error {
+	switch rec.Kind {
+	case kindBlock:
+		if a.c.Blocks == nil {
+			return nil
+		}
+		var ev netblock.Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return fmt.Errorf("statestore: record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		switch {
+		case ev.Unblock:
+			a.c.Blocks.Unblock(ev.Addr)
+		case !ev.Expiry.IsZero() && !a.c.Clock().Before(ev.Expiry):
+			a.restored.ExpiredBlocks++
+		default:
+			a.c.Blocks.BlockUntil(ev.Addr, ev.Expiry)
+			a.restored.Blocks++
+		}
+	case kindThreat:
+		if a.c.Threat == nil {
+			return nil
+		}
+		var tr ids.Transition
+		if err := json.Unmarshal(rec.Data, &tr); err != nil {
+			return fmt.Errorf("statestore: record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		history := append(a.c.Threat.History(), tr)
+		a.c.Threat.Restore(tr.To, history)
+		a.restored.ThreatLevel = tr.To.String()
+	case kindCounter:
+		if a.c.Counters == nil {
+			return nil
+		}
+		var ev conditions.CounterEvent
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return fmt.Errorf("statestore: record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		if ev.Reset {
+			a.c.Counters.Reset(ev.Key)
+		} else {
+			a.c.Counters.RestoreEvent(ev.Key, ev.At)
+			a.restored.CounterEvents++
+		}
+	case kindGroup:
+		if a.c.Groups == nil {
+			return nil
+		}
+		var ev groups.Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return fmt.Errorf("statestore: record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		if ev.Remove {
+			a.c.Groups.Remove(ev.Group, ev.Member)
+		} else {
+			a.c.Groups.Add(ev.Group, ev.Member)
+			a.restored.GroupMembers++
+		}
+	}
+	return nil
+}
+
+// snapshot gathers the live component state for compaction.
+func (a *Adaptive) snapshot() ([]byte, error) {
+	var snap stateSnapshot
+	if a.c.Blocks != nil {
+		snap.Blocks = a.c.Blocks.Entries()
+	}
+	if a.c.Threat != nil {
+		snap.Threat = &threatState{
+			Level:   a.c.Threat.Level().String(),
+			History: a.c.Threat.History(),
+		}
+	}
+	if a.c.Counters != nil {
+		snap.Counters = a.c.Counters.Dump()
+	}
+	if a.c.Groups != nil {
+		snap.Groups = make(map[string][]string)
+		for _, g := range a.c.Groups.Groups() {
+			snap.Groups[g] = a.c.Groups.Members(g)
+		}
+	}
+	return json.Marshal(snap)
+}

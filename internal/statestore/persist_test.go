@@ -1,0 +1,262 @@
+package statestore
+
+import (
+	"testing"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/netblock"
+)
+
+// fixedClock returns a settable deterministic clock.
+type fixedClock struct{ now time.Time }
+
+func (c *fixedClock) Now() time.Time { return c.now }
+
+func components(clock func() time.Time) Components {
+	return Components{
+		Blocks:   netblock.NewSet(netblock.WithClock(clock)),
+		Threat:   ids.NewManager(ids.Low),
+		Counters: conditions.NewCounters(clock),
+		Groups:   groups.NewStore(),
+		Clock:    clock,
+	}
+}
+
+func attach(t *testing.T, dir string, c Components) (*Store, *Adaptive) {
+	t.Helper()
+	s, err := Open(dir, Options{Fsync: FsyncAlways, Clock: c.Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	a, err := Attach(s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func TestRecoveryRestoresAdaptiveState(t *testing.T) {
+	clock := &fixedClock{now: time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)}
+	dir := t.TempDir()
+
+	c1 := components(clock.Now)
+	_, a1 := attach(t, dir, c1)
+	if a1.Restored() != (RestoreSummary{}) {
+		t.Fatalf("fresh attach restored %+v", a1.Restored())
+	}
+
+	// Mutate everything the paper's feedback loop touches.
+	expiry := clock.now.Add(10 * time.Minute)
+	c1.Blocks.Block("10.0.0.1", 10*time.Minute)
+	c1.Blocks.Block("192.168.0.0/24", 0) // permanent
+	c1.Threat.Set(ids.Medium)
+	c1.Threat.Set(ids.High)
+	c1.Counters.Add("login-fail:alice")
+	c1.Counters.Add("login-fail:alice")
+	c1.Groups.Add("BadGuys", "10.0.0.1")
+
+	// Reopen the same directory WITHOUT Close: the process was killed.
+	clock.now = clock.now.Add(time.Minute)
+	c2 := components(clock.Now)
+	_, a2 := attach(t, dir, c2)
+	sum := a2.Restored()
+
+	if sum.Blocks != 2 {
+		t.Fatalf("restored %d blocks, want 2", sum.Blocks)
+	}
+	if !c2.Blocks.Blocked("10.0.0.1") || !c2.Blocks.Blocked("192.168.0.55") {
+		t.Fatal("restored block set does not enforce the original blocks")
+	}
+	entries := c2.Blocks.Entries()
+	var timed *netblock.Entry
+	for i := range entries {
+		if entries[i].Addr == "10.0.0.1" {
+			timed = &entries[i]
+		}
+	}
+	if timed == nil || !timed.Expiry.Equal(expiry) {
+		t.Fatalf("timed block restored with expiry %+v, want the original %v", timed, expiry)
+	}
+	if sum.ThreatLevel != "high" || c2.Threat.Level() != ids.High {
+		t.Fatalf("threat restored to %q/%v, want high", sum.ThreatLevel, c2.Threat.Level())
+	}
+	if h := c2.Threat.History(); len(h) != 2 || h[0].To != ids.Medium || h[1].To != ids.High {
+		t.Fatalf("escalation history not restored: %+v", h)
+	}
+	if sum.CounterEvents != 2 || c2.Counters.CountSince("login-fail:alice", time.Hour) != 2 {
+		t.Fatalf("lockout counters not restored: summary=%d count=%d",
+			sum.CounterEvents, c2.Counters.CountSince("login-fail:alice", time.Hour))
+	}
+	if sum.GroupMembers != 1 || !c2.Groups.Contains("BadGuys", "10.0.0.1") {
+		t.Fatal("blacklist group not restored")
+	}
+}
+
+func TestRecoveryDropsExpiredBlocks(t *testing.T) {
+	clock := &fixedClock{now: time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)}
+	dir := t.TempDir()
+	c1 := components(clock.Now)
+	attach(t, dir, c1)
+	c1.Blocks.Block("10.0.0.1", time.Minute)
+	c1.Blocks.Block("10.0.0.2", time.Hour)
+
+	clock.now = clock.now.Add(30 * time.Minute) // first block expired
+	c2 := components(clock.Now)
+	_, a2 := attach(t, dir, c2)
+	sum := a2.Restored()
+	if sum.Blocks != 1 || sum.ExpiredBlocks != 1 {
+		t.Fatalf("restored %d blocks / %d expired, want 1/1", sum.Blocks, sum.ExpiredBlocks)
+	}
+	if c2.Blocks.Blocked("10.0.0.1") {
+		t.Fatal("expired block came back")
+	}
+	if !c2.Blocks.Blocked("10.0.0.2") {
+		t.Fatal("live block lost")
+	}
+}
+
+func TestUnblockJournaled(t *testing.T) {
+	clock := &fixedClock{now: time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)}
+	dir := t.TempDir()
+	c1 := components(clock.Now)
+	attach(t, dir, c1)
+	c1.Blocks.Block("10.0.0.1", time.Hour)
+	c1.Blocks.Unblock("10.0.0.1")
+	c1.Groups.Add("BadGuys", "x")
+	c1.Groups.Remove("BadGuys", "x")
+
+	c2 := components(clock.Now)
+	attach(t, dir, c2)
+	if c2.Blocks.Blocked("10.0.0.1") {
+		t.Fatal("unblocked address restored as blocked")
+	}
+	if c2.Groups.Contains("BadGuys", "x") {
+		t.Fatal("removed member restored")
+	}
+}
+
+func TestCompactionRoundTripsState(t *testing.T) {
+	clock := &fixedClock{now: time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)}
+	dir := t.TempDir()
+	c1 := components(clock.Now)
+	s1, _ := attach(t, dir, c1)
+	c1.Blocks.Block("10.0.0.1", time.Hour)
+	c1.Threat.Set(ids.High)
+	c1.Counters.Add("login-fail:bob")
+	c1.Groups.Add("BadGuys", "10.0.0.1")
+	if err := s1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction mutations land in the fresh WAL segment.
+	c1.Groups.Add("BadGuys", "10.0.0.2")
+
+	c2 := components(clock.Now)
+	s2, a2 := attach(t, dir, c2)
+	if rec := s2.Recovery(); !rec.SnapshotLoaded {
+		t.Fatalf("no snapshot after compaction: %+v", rec)
+	}
+	sum := a2.Restored()
+	if sum.Blocks != 1 || sum.GroupMembers != 2 || sum.CounterEvents != 1 || sum.ThreatLevel != "high" {
+		t.Fatalf("snapshot+tail restore = %+v", sum)
+	}
+	if !c2.Groups.Contains("BadGuys", "10.0.0.2") {
+		t.Fatal("post-compaction mutation lost")
+	}
+}
+
+func TestReplayIdempotentAcrossDuplicates(t *testing.T) {
+	// Records duplicated across a compaction race (in both snapshot and
+	// WAL) must not double-apply: Block updates in place, group Add is
+	// a set, counters are the conservative direction.
+	clock := &fixedClock{now: time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)}
+	dir := t.TempDir()
+	c1 := components(clock.Now)
+	s1, _ := attach(t, dir, c1)
+	c1.Blocks.Block("10.0.0.1", time.Hour)
+	c1.Groups.Add("BadGuys", "10.0.0.1")
+	if err := s1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Force the duplicate shape: a snapshot is present AND the original
+	// records are still in a WAL segment. Re-journal the same mutations.
+	c1.Blocks.Block("10.0.0.1", time.Hour)
+	c1.Groups.Add("BadGuys", "10.0.0.1") // no-op: not journaled again
+
+	c2 := components(clock.Now)
+	attach(t, dir, c2)
+	if got := c2.Blocks.Len(); got != 1 {
+		t.Fatalf("block set has %d entries after duplicate replay, want 1", got)
+	}
+	if got := c2.Groups.Len("BadGuys"); got != 1 {
+		t.Fatalf("BadGuys has %d members after duplicate replay, want 1", got)
+	}
+}
+
+func TestJournalErrorsCountedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultyFS{FS: OS}
+	s, err := Open(dir, Options{Fsync: FsyncNever, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := components(time.Now)
+	a, err := Attach(s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.tearNext = true
+	c.Blocks.Block("10.0.0.1", time.Hour) // journal append fails underneath
+	if a.JournalErrors() != 1 {
+		t.Fatalf("JournalErrors = %d, want 1", a.JournalErrors())
+	}
+	if !c.Blocks.Blocked("10.0.0.1") {
+		t.Fatal("in-memory enforcement lost on journal failure")
+	}
+}
+
+func TestAttachRejectsCorruptRecordPayload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("block", "not-an-event-object"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := Attach(re, components(time.Now)); err == nil {
+		t.Fatal("Attach accepted a CRC-valid record with a malformed payload")
+	}
+}
+
+func TestUnknownRecordKindSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("future-kind", map[string]string{"x": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := Attach(re, components(time.Now)); err != nil {
+		t.Fatalf("unknown kind should be skipped, got %v", err)
+	}
+}
