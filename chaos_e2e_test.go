@@ -10,6 +10,7 @@ package gaaapi
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -50,6 +51,28 @@ func serve(st *gaahttp.Stack, r workload.Request) *httptest.ResponseRecorder {
 	rec := httptest.NewRecorder()
 	st.Server.ServeHTTP(rec, r.HTTPRequest())
 	return rec
+}
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes; step, when non-nil, runs before each probe to drive whatever
+// traffic the condition depends on. Deadline-bounded polling instead of
+// fixed sleeps: a slow CI runner gets the whole budget, a fast one
+// moves on after one tick.
+func waitFor(t *testing.T, deadline time.Duration, step func(), cond func() bool) bool {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		if step != nil {
+			step()
+		}
+		if cond() {
+			return true
+		}
+		if time.Now().After(stop) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // TestChaosMixedWorkloadAlwaysAnswered replays the legitimate mix with
@@ -259,15 +282,22 @@ func TestChaosBreakerRecovers(t *testing.T) {
 		t.Fatalf("breaker = %v, want open", got)
 	}
 
-	// Transport heals; cooldown elapses; the next attack's notification
-	// is the half-open probe and closes the circuit.
+	// Transport heals; once the 10ms cooldown elapses the next attack's
+	// notification is the half-open probe that re-closes the circuit.
+	// Poll with fresh source IPs — a reused source is already
+	// blacklisted and gets denied before the notify condition fires —
+	// until the probe lands or the deadline expires.
 	healed = true
-	time.Sleep(15 * time.Millisecond)
-	if rec := serve(st, workload.PhfScan("192.0.2.33")); rec.Code != http.StatusForbidden {
-		t.Fatalf("attack after heal = %d, want 403", rec.Code)
-	}
-	if got := reliable.BreakerState(); got != retry.Closed {
-		t.Fatalf("breaker = %v, want closed after successful probe", got)
+	next := 33
+	closed := waitFor(t, 10*time.Second, func() {
+		ip := fmt.Sprintf("10.66.%d.%d", next/250, next%250)
+		next++
+		if rec := serve(st, workload.PhfScan(ip)); rec.Code != http.StatusForbidden {
+			t.Fatalf("attack after heal = %d, want 403", rec.Code)
+		}
+	}, func() bool { return reliable.BreakerState() == retry.Closed })
+	if !closed {
+		t.Fatalf("breaker = %v, want closed after successful probe", reliable.BreakerState())
 	}
 	if mailbox.Count() == 0 {
 		t.Error("probe notification not delivered")

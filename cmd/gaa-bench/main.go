@@ -10,6 +10,8 @@
 //	gaa-bench -notify 47ms    # synthetic notification latency
 //	gaa-bench -parallel       # parallel decision-path throughput sweep
 //	gaa-bench -parallel -json # same, as JSON (BENCH_parallel.json)
+//	gaa-bench -observability  # metrics-instrumentation overhead
+//	                          # (-json: BENCH_observability.json)
 //	gaa-bench -drill          # fault drill: seeded evaluator/notifier
 //	                          # fault injection; non-zero exit on crash
 package main
@@ -42,7 +44,8 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 2003, "workload seed")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		parallel = fs.Bool("parallel", false, "run the parallel throughput sweep (1/4/16 goroutines) instead of the experiment tables")
-		jsonOut  = fs.Bool("json", false, "with -parallel: emit machine-readable JSON")
+		observ   = fs.Bool("observability", false, "measure metrics-instrumentation overhead (bare vs gaa.WithMetrics) instead of the experiment tables")
+		jsonOut  = fs.Bool("json", false, "with -parallel or -observability: emit machine-readable JSON")
 
 		drill       = fs.Bool("drill", false, "run a fault drill (seeded fault injection over the section 7.2 deployment) instead of the experiment tables")
 		drillN      = fs.Int("drill-requests", 400, "with -drill: legitimate-workload size")
@@ -98,8 +101,18 @@ func run(args []string, out io.Writer) error {
 		}
 		return experiments.WriteParallelJSON(out, results)
 	}
+	if *observ {
+		if !*jsonOut {
+			return experiments.Observability(out, opts)
+		}
+		results, err := experiments.ObservabilityResults(opts, 1)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteObservabilityJSON(out, results)
+	}
 	if *jsonOut {
-		return fmt.Errorf("-json requires -parallel")
+		return fmt.Errorf("-json requires -parallel or -observability")
 	}
 
 	if *list {

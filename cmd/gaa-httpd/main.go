@@ -18,7 +18,11 @@
 //	                    state-store and reload statistics
 //	POST /gaa/reload  — re-parse and analyze the policy set; swap it in
 //	                    atomically only when clean at severity < error
+//	GET  /gaa/metrics — Prometheus text exposition: phase latency,
+//	                    decisions, cache, supervision, notifier, state
+//	                    store, threat level (disable with -metrics=false)
 //
+// With -pprof the Go runtime profiles are served under /debug/pprof/.
 // SIGHUP triggers the same validated reload. With -state-dir the
 // adaptive state (blocks with their expiries, threat level, lockout
 // counters, blacklist groups) is journaled and survives kill -9.
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,6 +53,7 @@ import (
 	"gaaapi/internal/groups"
 	"gaaapi/internal/httpd"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/metrics"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
 	"gaaapi/internal/statestore"
@@ -104,6 +110,10 @@ type options struct {
 	stateDir     string
 	fsyncPolicy  string
 	snapInterval time.Duration
+
+	// Observability knobs.
+	metrics bool
+	pprof   bool
 }
 
 func parseOptions(args []string) (options, error) {
@@ -125,6 +135,8 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.stateDir, "state-dir", "", "journal adaptive state (blocks, threat level, lockouts, blacklists) under this directory so it survives crashes")
 	fs.StringVar(&o.fsyncPolicy, "fsync", "interval", "state WAL fsync policy: always|interval|never")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "compact the state WAL into a snapshot this often (0: count-driven only)")
+	fs.BoolVar(&o.metrics, "metrics", true, "serve Prometheus text metrics at /gaa/metrics")
+	fs.BoolVar(&o.pprof, "pprof", false, "serve runtime profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -139,6 +151,7 @@ type deployment struct {
 	groups   *groups.Store
 	reloader *gaahttp.Reloader
 	store    *statestore.Store
+	metrics  *metrics.Registry
 	close    func()
 }
 
@@ -285,7 +298,16 @@ func buildDeployment(o options) (*deployment, error) {
 	tuner.SetLevelValues(ids.Medium, map[string]string{"max_input": "300"})
 	tuner.SetLevelValues(ids.High, map[string]string{"max_input": "100"})
 
+	var reg *metrics.Registry
+	if o.metrics {
+		reg = metrics.NewRegistry()
+	}
+
 	apiOpts := []gaa.Option{gaa.WithPolicyCache(4096), gaa.WithValues(values)}
+	if reg != nil {
+		apiOpts = append(apiOpts, gaa.WithMetrics(reg),
+			gaa.WithMetricsSampling(gaa.DefaultMetricsSampleShift))
+	}
 	if o.evalTimeout > 0 {
 		apiOpts = append(apiOpts, gaa.WithEvaluatorTimeout(o.evalTimeout))
 	}
@@ -483,20 +505,46 @@ func buildDeployment(o options) (*deployment, error) {
 		}
 		json.NewEncoder(w).Encode(res)
 	}
-	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
-		case "/gaa/status":
+	var metricsH http.Handler
+	if reg != nil {
+		gaahttp.RegisterComponentMetrics(reg, gaahttp.Components{
+			Threat:   threat,
+			Bus:      bus,
+			Blocks:   blocks,
+			Reliable: reliable,
+			Store:    store,
+			Reloader: reloader,
+		})
+		metricsH = gaahttp.MetricsHandler(reg)
+	}
+
+	var root http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/gaa/status":
 			status(w, r)
 			return
-		case "/gaa/reload":
+		case r.URL.Path == "/gaa/reload":
 			reload(w, r)
+			return
+		case metricsH != nil && r.URL.Path == "/gaa/metrics":
+			metricsH.ServeHTTP(w, r)
+			return
+		case o.pprof && strings.HasPrefix(r.URL.Path, "/debug/pprof"):
+			// Explicit pprof routes: this server deliberately avoids
+			// http.ServeMux (and thus net/http/pprof's DefaultServeMux
+			// registration) so raw request lines reach the guard.
+			servePprof(w, r)
 			return
 		}
 		server.ServeHTTP(w, r)
 	})
+	if reg != nil {
+		root = gaahttp.InstrumentHandler(reg, root)
+	}
 
 	return &deployment{
 		handler:  root,
+		metrics:  reg,
 		threat:   threat,
 		groups:   grp,
 		reloader: reloader,
@@ -572,6 +620,24 @@ loop:
 		}
 	}
 	return nil
+}
+
+// servePprof dispatches /debug/pprof requests to the pprof handlers
+// without going through a ServeMux.
+func servePprof(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		// Index also serves the named profiles (heap, goroutine, ...).
+		pprof.Index(w, r)
+	}
 }
 
 // htaccessSource serves .htaccess files from the local policy tree (or

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"gaaapi/internal/metrics"
+)
+
+// TestMetricsEndpoint drives attack traffic through the demo deployment
+// and lints the /gaa/metrics exposition: it must parse (every sample
+// preceded by a registered TYPE line, no duplicate series), satisfy
+// histogram invariants, and reflect the traffic just served.
+func TestMetricsEndpoint(t *testing.T) {
+	dep := buildDemo(t)
+	get(t, dep.handler, "/index.html", "10.0.0.5")
+	get(t, dep.handler, "/cgi-bin/phf?Qalias=x", "10.0.0.66")
+
+	w := get(t, dep.handler, "/gaa/metrics", "127.0.0.1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics endpoint = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	fams, err := metrics.Parse(w.Body)
+	if err != nil {
+		t.Fatalf("exposition lint failed: %v", err)
+	}
+	for name, fam := range fams {
+		if !metrics.ValidName(name) {
+			t.Errorf("invalid metric name %q", name)
+		}
+		if fam.Type == "histogram" {
+			if err := metrics.CheckHistogramInvariants(fam); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+
+	vals := dep.metrics.Values()
+	if got := vals[`gaa_decisions_total{decision="yes",phase="check"}`]; got < 1 {
+		t.Errorf("yes decisions = %v, want >= 1", got)
+	}
+	if got := vals[`gaa_decisions_total{decision="no",phase="check"}`]; got < 1 {
+		t.Errorf("no decisions = %v, want >= 1 (phf denial)", got)
+	}
+	// The demo policy escalates to medium on the phf probe.
+	if got := vals["gaa_threat_level"]; got != 2 {
+		t.Errorf("threat level = %v, want 2 (medium)", got)
+	}
+	if got := vals[`gaa_http_requests_total{code_class="4xx"}`]; got < 1 {
+		t.Errorf("4xx requests = %v, want >= 1", got)
+	}
+}
+
+// TestMetricsDisabled: -metrics=false serves no registry and the path
+// falls through to the web server.
+func TestMetricsDisabled(t *testing.T) {
+	dep := buildDemo(t, "-metrics=false")
+	if dep.metrics != nil {
+		t.Error("registry built with -metrics=false")
+	}
+	if w := get(t, dep.handler, "/gaa/metrics", "127.0.0.1"); w.Code == http.StatusOK {
+		t.Errorf("metrics endpoint = %d with -metrics=false, want non-200 fallthrough", w.Code)
+	}
+}
+
+// TestPprofGate: profiles are served only with -pprof.
+func TestPprofGate(t *testing.T) {
+	off := buildDemo(t)
+	if w := get(t, off.handler, "/debug/pprof/goroutine?debug=1", "127.0.0.1"); w.Code == http.StatusOK {
+		t.Errorf("pprof served without -pprof (code %d)", w.Code)
+	}
+	on := buildDemo(t, "-pprof")
+	w := get(t, on.handler, "/debug/pprof/goroutine?debug=1", "127.0.0.1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("pprof goroutine profile = %d, want 200", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "goroutine") {
+		t.Error("goroutine profile body looks wrong")
+	}
+}

@@ -3,6 +3,7 @@ package conditions
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // condShards is the shard count for the per-condition memo caches
@@ -22,7 +23,11 @@ type shardedCache[V any] struct {
 type condShard[V any] struct {
 	mu sync.RWMutex
 	m  map[string]V
-	_  [64]byte // keep shard locks on separate cache lines
+	// hits/misses live on the shard so counting them contends exactly
+	// as much as the shard lock itself — no extra shared cache line.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	_      [64]byte // keep shard locks on separate cache lines
 }
 
 // shard hashes the key (FNV-1a) onto a shard.
@@ -44,7 +49,37 @@ func (c *shardedCache[V]) get(key string) (V, bool) {
 	s.mu.RLock()
 	v, ok := s.m[key]
 	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
 	return v, ok
+}
+
+// stats sums the per-shard counters.
+func (c *shardedCache[V]) stats() MemoStats {
+	var st MemoStats
+	for i := range c.shards {
+		st.Hits += c.shards[i].hits.Load()
+		st.Misses += c.shards[i].misses.Load()
+	}
+	return st
+}
+
+// MemoStats is the hit/miss tally of one condition memo cache.
+type MemoStats struct {
+	Hits, Misses uint64
+}
+
+// MemoCacheStats reports the process-wide condition memo caches, keyed
+// by cache name: "regex" (compiled "re:" patterns) and "fields"
+// (memoized strings.Fields over condition values).
+func MemoCacheStats() map[string]MemoStats {
+	return map[string]MemoStats{
+		"regex":  regexCache.stats(),
+		"fields": splitCache.stats(),
+	}
 }
 
 func (c *shardedCache[V]) set(key string, v V) {

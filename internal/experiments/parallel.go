@@ -187,6 +187,14 @@ func parallelScenarios() []parallelScenario {
 
 // ParallelResults runs every scenario at every concurrency level.
 func ParallelResults(opts Options) ([]ParallelResult, error) {
+	return ParallelResultsScaled(opts, 1)
+}
+
+// ParallelResultsScaled is ParallelResults with every scenario's op
+// count multiplied by scale (minimum 1 op). The regression guard
+// (TestBenchGuard) runs the suite at a small scale so it fits a test
+// budget while measuring the same code paths.
+func ParallelResultsScaled(opts Options, scale float64) ([]ParallelResult, error) {
 	opts = opts.Defaults()
 	var out []ParallelResult
 	for _, sc := range parallelScenarios() {
@@ -194,8 +202,12 @@ func ParallelResults(opts Options) ([]ParallelResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sc.name, err)
 		}
+		ops := int(float64(sc.ops) * scale)
+		if ops < 1 {
+			ops = 1
+		}
 		for _, g := range ParallelGoroutines {
-			res, err := measureParallel(sc.name, g, sc.ops, newOp)
+			res, err := measureParallel(sc.name, g, ops, newOp)
 			if err != nil {
 				cleanup()
 				return nil, err

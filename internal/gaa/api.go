@@ -25,6 +25,13 @@ type API struct {
 	evalTimeout time.Duration
 	wrapEval    func(Evaluator) Evaluator
 	sup         supervisionCounters
+
+	// metrics holds the hot-path instruments installed by WithMetrics;
+	// nil keeps every phase completely uninstrumented.
+	// metricsSampleShift is the WithMetricsSampling configuration (0:
+	// time every phase execution).
+	metrics            *apiInstruments
+	metricsSampleShift uint
 }
 
 // Option configures an API.
@@ -257,6 +264,12 @@ func (a *API) CheckAuthorizationInto(ctx context.Context, p *Policy, req *Reques
 	if p == nil {
 		return fmt.Errorf("nil policy")
 	}
+	var start time.Time
+	m := a.metrics
+	sampled := m != nil && m.sampleLatency()
+	if sampled {
+		start = time.Now()
+	}
 	st := a.getState(req)
 	r := &st.req
 	res := a.evaluatePolicy(ctx, p, r, st)
@@ -282,6 +295,9 @@ func (a *API) CheckAuthorizationInto(ctx context.Context, p *Policy, req *Reques
 		appendBlock(&ans.Post, d.entry, eacl.BlockPost)
 	}
 	putState(st)
+	if m != nil {
+		m.check.record(sampled, start, m.weight, ans.Decision)
+	}
 	return nil
 }
 
@@ -305,12 +321,21 @@ func (a *API) ExecutionControl(ctx context.Context, ans *Answer, req *Request, u
 	if len(ans.Mid) == 0 {
 		return Yes, nil
 	}
+	var start time.Time
+	m := a.metrics
+	sampled := m != nil && m.sampleLatency()
+	if sampled {
+		start = time.Now()
+	}
 	st := a.getState(req)
 	r := &st.req
 	r.Decision = ans.Decision
 	r.Params = r.Params.With(usage...)
 	dec, trace := a.evaluateBlock(ctx, "mid", 0, ans.Mid, r)
 	putState(st)
+	if m != nil {
+		m.mid.record(sampled, start, m.weight, dec)
+	}
 	return dec, trace
 }
 
@@ -321,6 +346,12 @@ func (a *API) ExecutionControl(ctx context.Context, ans *Answer, req *Request, u
 func (a *API) PostExecutionActions(ctx context.Context, ans *Answer, req *Request, opStatus Decision) (Decision, []TraceEvent) {
 	if len(ans.Post) == 0 {
 		return Yes, nil
+	}
+	var start time.Time
+	m := a.metrics
+	sampled := m != nil && m.sampleLatency()
+	if sampled {
+		start = time.Now()
 	}
 	st := a.getState(req)
 	r := &st.req
@@ -333,5 +364,8 @@ func (a *API) PostExecutionActions(ctx context.Context, ans *Answer, req *Reques
 	})
 	dec, trace := a.evaluateBlock(ctx, "post", 0, ans.Post, r)
 	putState(st)
+	if m != nil {
+		m.post.record(sampled, start, m.weight, dec)
+	}
 	return dec, trace
 }

@@ -1,0 +1,67 @@
+package gaa
+
+import (
+	"context"
+	"testing"
+
+	"gaaapi/internal/metrics"
+)
+
+func benchAPI(b *testing.B, withMetrics bool) (*API, *Policy, *Request) {
+	b.Helper()
+	opts := []Option{WithPolicyCache(16)}
+	if withMetrics {
+		opts = append(opts, WithMetrics(metrics.NewRegistry()))
+	}
+	a := New(opts...)
+	src := NewMemorySource()
+	if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+		b.Fatal(err)
+	}
+	policy, err := a.GetObjectPolicyInfo("/x", nil, []PolicySource{src})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, policy, simpleRequest()
+}
+
+func benchCheck(b *testing.B, withMetrics bool) {
+	a, policy, req := benchAPI(b, withMetrics)
+	ans := new(Answer)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.CheckAuthorizationInto(ctx, policy, req, ans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckBare(b *testing.B)         { benchCheck(b, false) }
+func BenchmarkCheckInstrumented(b *testing.B) { benchCheck(b, true) }
+
+func BenchmarkCheckInstrumentedSampled(b *testing.B) {
+	a, policy, req := func() (*API, *Policy, *Request) {
+		reg := metrics.NewRegistry()
+		a := New(WithPolicyCache(16), WithMetrics(reg), WithMetricsSampling(DefaultMetricsSampleShift))
+		src := NewMemorySource()
+		if err := src.AddPolicy("*", "pos_access_right apache *"); err != nil {
+			b.Fatal(err)
+		}
+		policy, err := a.GetObjectPolicyInfo("/x", nil, []PolicySource{src})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a, policy, simpleRequest()
+	}()
+	ans := new(Answer)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.CheckAuthorizationInto(ctx, policy, req, ans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

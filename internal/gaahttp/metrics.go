@@ -1,0 +1,236 @@
+package gaahttp
+
+import (
+	"net/http"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/metrics"
+	"gaaapi/internal/netblock"
+	"gaaapi/internal/notify"
+	"gaaapi/internal/statestore"
+)
+
+// Metric names registered by RegisterComponentMetrics and
+// InstrumentHandler. Like the gaa.Metric* names they are an
+// observability contract (docs/OBSERVABILITY.md): renaming one breaks
+// dashboards and the golden fixtures.
+const (
+	MetricThreatLevel       = "gaa_threat_level"
+	MetricThreatTransitions = "gaa_threat_transitions_total"
+	MetricIDSReports        = "gaa_ids_reports_total"
+	MetricActiveBlocks      = "gaa_netblock_active_blocks"
+	MetricMemoHits          = "gaa_condition_memo_hits_total"
+	MetricMemoMisses        = "gaa_condition_memo_misses_total"
+
+	MetricNotifyDelivered     = "gaa_notify_delivered_total"
+	MetricNotifyFailures      = "gaa_notify_failures_total"
+	MetricNotifyAttempts      = "gaa_notify_attempts_total"
+	MetricNotifyRetries       = "gaa_notify_retries_total"
+	MetricNotifyShortCircuits = "gaa_notify_short_circuits_total"
+	MetricNotifyBreakerOpens  = "gaa_notify_breaker_opens_total"
+	MetricNotifyBreakerState  = "gaa_notify_breaker_state"
+
+	MetricStateAppends        = "gaa_state_appends_total"
+	MetricStateAppendErrors   = "gaa_state_append_errors_total"
+	MetricStateSnapshots      = "gaa_state_snapshots_total"
+	MetricStateSnapshotErrors = "gaa_state_snapshot_errors_total"
+	MetricStateSyncs          = "gaa_state_syncs_total"
+	MetricStateSyncErrors     = "gaa_state_sync_errors_total"
+	MetricStateLastSeq        = "gaa_state_last_seq"
+	MetricStateDroppedBytes   = "gaa_state_recovery_dropped_bytes"
+
+	MetricReloadAttempts      = "gaa_reload_attempts_total"
+	MetricReloadApplied       = "gaa_reload_applied_total"
+	MetricReloadRejected      = "gaa_reload_rejected_total"
+	MetricReloadAutoRollbacks = "gaa_reload_auto_rollbacks_total"
+	MetricReloadGeneration    = "gaa_reload_generation"
+	MetricReloadProbation     = "gaa_reload_probation"
+
+	MetricHTTPRequests = "gaa_http_requests_total"
+	MetricHTTPDuration = "gaa_http_request_duration_seconds"
+)
+
+// Components names the stack pieces whose existing counters are scraped
+// at collect time. Every field is optional: nil components register
+// nothing, so a deployment exposes exactly what it runs.
+type Components struct {
+	Threat   *ids.Manager
+	Bus      *ids.Bus
+	Blocks   *netblock.Set
+	Reliable *notify.Reliable
+	Store    *statestore.Store
+	Reloader *Reloader
+}
+
+// RegisterComponentMetrics wires the adaptive substrate into reg using
+// collect-time functions over each component's own atomics — the
+// components keep sole ownership of their counters, so there is no
+// double accounting and no hot-path change. The process-wide condition
+// memo caches (regex, fields) are always registered.
+func RegisterComponentMetrics(reg *metrics.Registry, c Components) {
+	for _, cache := range []string{"regex", "fields"} {
+		cache := cache
+		reg.CounterFunc(MetricMemoHits,
+			"Condition memo cache hits by cache (regex: compiled re: patterns; fields: memoized value splitting).",
+			func() uint64 { return conditions.MemoCacheStats()[cache].Hits },
+			metrics.L("cache", cache))
+		reg.CounterFunc(MetricMemoMisses,
+			"Condition memo cache misses by cache.",
+			func() uint64 { return conditions.MemoCacheStats()[cache].Misses },
+			metrics.L("cache", cache))
+	}
+	if t := c.Threat; t != nil {
+		reg.GaugeFunc(MetricThreatLevel,
+			"Current IDS system threat level (1=low, 2=medium, 3=high).",
+			func() float64 { return float64(t.Level()) })
+		reg.CounterFunc(MetricThreatTransitions,
+			"Threat-level changes since process start.", t.Transitions)
+	}
+	if b := c.Bus; b != nil {
+		reg.CounterFunc(MetricIDSReports,
+			"GAA-to-IDS reports published on the event bus.", b.Published)
+	}
+	if s := c.Blocks; s != nil {
+		reg.GaugeFunc(MetricActiveBlocks,
+			"Live firewall block entries (expired blocks excluded).",
+			func() float64 { return float64(s.Len()) })
+	}
+	if r := c.Reliable; r != nil {
+		for _, f := range []struct {
+			name, help string
+			fn         func(notify.ReliableStats) uint64
+		}{
+			{MetricNotifyDelivered, "Notifications that reached the transport and succeeded.",
+				func(s notify.ReliableStats) uint64 { return s.Delivered }},
+			{MetricNotifyFailures, "Notifications that exhausted their retries.",
+				func(s notify.ReliableStats) uint64 { return s.Failures }},
+			{MetricNotifyAttempts, "Individual notification delivery attempts.",
+				func(s notify.ReliableStats) uint64 { return s.Attempts }},
+			{MetricNotifyRetries, "Delivery attempts beyond each call's first.",
+				func(s notify.ReliableStats) uint64 { return s.Retries }},
+			{MetricNotifyShortCircuits, "Notifications rejected while the breaker was open.",
+				func(s notify.ReliableStats) uint64 { return s.ShortCircuits }},
+			{MetricNotifyBreakerOpens, "Times the notification circuit breaker tripped open.",
+				func(s notify.ReliableStats) uint64 { return s.BreakerOpens }},
+		} {
+			f := f
+			reg.CounterFunc(f.name, f.help, func() uint64 { return f.fn(r.Stats()) })
+		}
+		reg.GaugeFunc(MetricNotifyBreakerState,
+			"Notification circuit-breaker state (0=closed, 1=open, 2=half-open).",
+			func() float64 { return float64(r.BreakerState()) })
+	}
+	if st := c.Store; st != nil {
+		for _, f := range []struct {
+			name, help string
+			fn         func(statestore.Stats) uint64
+		}{
+			{MetricStateAppends, "Adaptive-state WAL records written.",
+				func(s statestore.Stats) uint64 { return s.Appends }},
+			{MetricStateAppendErrors, "Adaptive-state WAL appends that failed (disk faults).",
+				func(s statestore.Stats) uint64 { return s.AppendErrors }},
+			{MetricStateSnapshots, "WAL compactions taken.",
+				func(s statestore.Stats) uint64 { return s.Snapshots }},
+			{MetricStateSnapshotErrors, "WAL compactions that failed.",
+				func(s statestore.Stats) uint64 { return s.SnapshotErrors }},
+			{MetricStateSyncs, "Explicit WAL fsyncs.",
+				func(s statestore.Stats) uint64 { return s.Syncs }},
+			{MetricStateSyncErrors, "WAL fsyncs that failed.",
+				func(s statestore.Stats) uint64 { return s.SyncErrors }},
+		} {
+			f := f
+			reg.CounterFunc(f.name, f.help, func() uint64 { return f.fn(st.Stats()) })
+		}
+		reg.GaugeFunc(MetricStateLastSeq,
+			"Highest WAL record sequence number issued.",
+			func() float64 { return float64(st.Stats().LastSeq) })
+		reg.CounterFunc(MetricStateDroppedBytes,
+			"Bytes of corrupt WAL tail dropped during the last recovery.",
+			func() uint64 { return uint64(st.Recovery().DroppedBytes) })
+	}
+	if rl := c.Reloader; rl != nil {
+		for _, f := range []struct {
+			name, help string
+			fn         func(ReloadStats) uint64
+		}{
+			{MetricReloadAttempts, "Policy reload attempts.",
+				func(s ReloadStats) uint64 { return s.Attempts }},
+			{MetricReloadApplied, "Policy reloads validated and swapped in.",
+				func(s ReloadStats) uint64 { return s.Applied }},
+			{MetricReloadRejected, "Policy reload candidates rejected by validation.",
+				func(s ReloadStats) uint64 { return s.Rejected }},
+			{MetricReloadAutoRollbacks, "Reloads rolled back by the post-swap health probe.",
+				func(s ReloadStats) uint64 { return s.AutoRollbacks }},
+		} {
+			f := f
+			reg.CounterFunc(f.name, f.help, func() uint64 { return f.fn(rl.Stats()) })
+		}
+		reg.GaugeFunc(MetricReloadGeneration,
+			"Live policy swap generation.",
+			func() float64 { return float64(rl.Stats().Generation) })
+		reg.GaugeFunc(MetricReloadProbation,
+			"Whether a post-swap health probe is armed (0/1).",
+			func() float64 {
+				if rl.Stats().Probation {
+					return 1
+				}
+				return 0
+			})
+	}
+}
+
+// MetricsHandler serves reg in Prometheus text exposition format 0.0.4.
+func MetricsHandler(reg *metrics.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// InstrumentHandler wraps next with request counting by status-code
+// class and a request-duration histogram. The per-class counters are
+// resolved once at wrap time, so the per-request cost is one clock pair
+// plus two striped atomic adds.
+func InstrumentHandler(reg *metrics.Registry, next http.Handler) http.Handler {
+	dur := reg.Histogram(MetricHTTPDuration,
+		"End-to-end HTTP request duration including the GAA guard phases.", nil)
+	var classes [6]*metrics.Counter
+	for i, class := range []string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+		classes[i+1] = reg.Counter(MetricHTTPRequests,
+			"HTTP requests served by status-code class.",
+			metrics.L("code_class", class))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		dur.ObserveDuration(time.Since(start))
+		idx := sw.code / 100
+		if idx < 1 || idx > 5 {
+			idx = 5
+		}
+		classes[idx].Inc()
+	})
+}

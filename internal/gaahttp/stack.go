@@ -12,6 +12,7 @@ import (
 	"gaaapi/internal/groups"
 	"gaaapi/internal/httpd"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/metrics"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
 	"gaaapi/internal/statestore"
@@ -82,6 +83,12 @@ type StackConfig struct {
 	SnapshotEvery int
 	// StoreFS overrides the store's filesystem (disk-fault drills).
 	StoreFS statestore.FS
+
+	// Metrics turns on the observability layer: a metrics.Registry on
+	// Stack.Metrics carrying the GAA phase instruments
+	// (gaa.WithMetrics) plus every component's collect-time metrics
+	// (RegisterComponentMetrics). Serve it with MetricsHandler.
+	Metrics bool
 }
 
 // Stack is a fully wired deployment: the GAA-API with all built-in
@@ -118,6 +125,10 @@ type Stack struct {
 	// wiring (nil without StateDir).
 	Store   *statestore.Store
 	Persist *statestore.Adaptive
+
+	// Metrics is the observability registry (nil unless
+	// StackConfig.Metrics was set).
+	Metrics *metrics.Registry
 
 	async *notify.Async
 }
@@ -181,6 +192,11 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 
 	var apiOpts []gaa.Option
 	apiOpts = append(apiOpts, gaa.WithClock(clock), gaa.WithValues(st.Values))
+	if cfg.Metrics {
+		st.Metrics = metrics.NewRegistry()
+		apiOpts = append(apiOpts, gaa.WithMetrics(st.Metrics),
+			gaa.WithMetricsSampling(gaa.DefaultMetricsSampleShift))
+	}
 	if cfg.PolicyCache {
 		apiOpts = append(apiOpts, gaa.WithPolicyCache(1024))
 	}
@@ -274,6 +290,16 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		AccessLog: cfg.AccessLog,
 		Clock:     clock,
 	})
+	if st.Metrics != nil {
+		RegisterComponentMetrics(st.Metrics, Components{
+			Threat:   st.Threat,
+			Bus:      st.Bus,
+			Blocks:   st.Blocks,
+			Reliable: st.Reliable,
+			Store:    st.Store,
+			Reloader: st.Reloader,
+		})
+	}
 	return st, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -80,6 +81,10 @@ const historyCap = 64
 type Manager struct {
 	clock func() time.Time
 
+	// transitions counts every level change since process start —
+	// monotonic, unlike the capped history (observability gauge feed).
+	transitions atomic.Uint64
+
 	mu      sync.RWMutex
 	level   Level
 	history []Transition
@@ -112,6 +117,13 @@ func (m *Manager) Level() Level {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.level
+}
+
+// Transitions returns the number of level changes observed since the
+// process started (including restores). Unlike len(History()), which
+// is capped, this counter is monotonic.
+func (m *Manager) Transitions() uint64 {
+	return m.transitions.Load()
 }
 
 // History returns the recorded level transitions, oldest first (bounded
@@ -157,6 +169,7 @@ func (m *Manager) set(l Level, journaled bool) {
 	}
 	tr := Transition{From: m.level, To: l, At: m.clock()}
 	m.level = l
+	m.transitions.Add(1)
 	if journaled {
 		m.history = append(m.history, tr)
 		if len(m.history) > historyCap {

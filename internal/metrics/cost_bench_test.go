@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkClockPair(b *testing.B) {
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sink = time.Since(start)
+	}
+	_ = sink
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("x_total", "x")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("x_seconds", "x", nil)
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(300 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,361 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample name as written (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels are the parsed label pairs (unescaped values).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Key renders the sample's identity (name plus sorted labels) for
+// duplicate detection and map lookups.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParsedFamily is one metric family reconstructed from an exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse reads a Prometheus text exposition and reconstructs its
+// families, enforcing the lint rules the golden tests and CI rely on:
+// every sample must belong to a family announced by a # TYPE line
+// (unregistered names are errors), names and label names must be
+// legal, and no series may appear twice.
+func Parse(r io.Reader) (map[string]*ParsedFamily, error) {
+	families := make(map[string]*ParsedFamily)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := families[familyOf(s.Name, families)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s for unregistered metric (no # TYPE line)", lineNo, s.Name)
+		}
+		if key := s.Key(); seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		} else {
+			seen[key] = true
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// familyOf resolves a sample name to its family name, peeling
+// histogram suffixes when the base family is a histogram.
+func familyOf(name string, families map[string]*ParsedFamily) string {
+	if _, ok := families[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseComment(line string, families map[string]*ParsedFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		// Free-form comments are legal and ignored.
+		return nil
+	}
+	name := fields[2]
+	if !ValidName(name) {
+		return fmt.Errorf("invalid metric name %q in %s line", name, fields[1])
+	}
+	f := families[name]
+	if f == nil {
+		f = &ParsedFamily{Name: name}
+		families[name] = f
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) == 4 {
+			f.Help = unescapeHelp(fields[3])
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("missing type for %s", name)
+		}
+		typ := strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("# TYPE for %s after its samples", name)
+		}
+		if f.Type != "" {
+			return fmt.Errorf("duplicate # TYPE for %s", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = rest[:brace]
+		var err error
+		rest, err = parseLabels(rest[brace:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !ValidName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	valueText := strings.TrimSpace(rest)
+	// A timestamp may trail the value; take the first field as value.
+	if i := strings.IndexByte(valueText, ' '); i >= 0 {
+		valueText = valueText[:i]
+	}
+	v, err := parseValue(valueText)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(text string) (float64, error) {
+	switch text {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(text, 64)
+}
+
+// parseLabels consumes a `{k="v",...}` block, returning the remainder
+// of the line.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	rest = rest[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '=' near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if key != "le" && !ValidLabelName(key) {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		if _, dup := into[key]; dup {
+			return "", fmt.Errorf("duplicate label %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", fmt.Errorf("unquoted value for label %q", key)
+		}
+		value, remainder, err := parseQuoted(rest)
+		if err != nil {
+			return "", fmt.Errorf("label %q: %w", key, err)
+		}
+		into[key] = value
+		rest = remainder
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string.
+func parseQuoted(rest string) (value, remainder string, err error) {
+	var b strings.Builder
+	i := 1
+	for i < len(rest) {
+		c := rest[i]
+		switch c {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch rest[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", rest[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// CheckHistogramInvariants verifies the structural histogram contract
+// on a parsed family: per series, buckets are cumulative and
+// non-decreasing in le order, an le="+Inf" bucket exists and equals
+// the _count sample, and a _sum sample is present.
+func CheckHistogramInvariants(f *ParsedFamily) error {
+	if f.Type != "histogram" {
+		return fmt.Errorf("%s: not a histogram", f.Name)
+	}
+	type group struct {
+		buckets map[float64]float64 // le -> cumulative count
+		sum     *float64
+		count   *float64
+	}
+	groups := make(map[string]*group)
+	groupKey := func(labels map[string]string) string {
+		s := Sample{Name: f.Name, Labels: make(map[string]string, len(labels))}
+		for k, v := range labels {
+			if k != "le" {
+				s.Labels[k] = v
+			}
+		}
+		return s.Key()
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		g := groups[groupKey(s.Labels)]
+		if g == nil {
+			g = &group{buckets: make(map[float64]float64)}
+			groups[groupKey(s.Labels)] = g
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q: %w", f.Name, le, err)
+			}
+			g.buckets[bound] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			v := s.Value
+			g.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			g.count = &v
+		default:
+			return fmt.Errorf("%s: unexpected histogram sample %s", f.Name, s.Name)
+		}
+	}
+	for key, g := range groups {
+		if g.sum == nil {
+			return fmt.Errorf("%s: series %s missing _sum", f.Name, key)
+		}
+		if g.count == nil {
+			return fmt.Errorf("%s: series %s missing _count", f.Name, key)
+		}
+		inf, ok := g.buckets[math.Inf(1)]
+		if !ok {
+			return fmt.Errorf("%s: series %s missing le=\"+Inf\" bucket", f.Name, key)
+		}
+		if inf != *g.count {
+			return fmt.Errorf("%s: series %s +Inf bucket %v != _count %v", f.Name, key, inf, *g.count)
+		}
+		bounds := make([]float64, 0, len(g.buckets))
+		for b := range g.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := -1.0
+		for _, b := range bounds {
+			if c := g.buckets[b]; c < prev {
+				return fmt.Errorf("%s: series %s bucket le=%v count %v below previous %v (not cumulative)", f.Name, key, b, c, prev)
+			} else {
+				prev = c
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gaaapi
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package gaaapi
+
+// raceEnabled reports whether the race detector is compiled in; the
+// bench guard skips under it because instrumentation multiplies
+// hot-path wall time far past any real regression signal.
+const raceEnabled = true
