@@ -34,9 +34,9 @@ const DefaultMetricsSampleShift = 3
 // label rendering, no allocation.
 type phaseInstruments struct {
 	latency *metrics.Histogram
-	// byDecision[Yes|No|Maybe] -> counter; index 0 is a catch-all for
-	// out-of-range decisions (counted as maybe, which is what the
-	// supervision layer degrades them to anyway).
+	// byDecision[Yes|No|Maybe] -> counter. Index 0 is unused (nil):
+	// record clamps out-of-range decisions to Maybe, which is what the
+	// supervision layer degrades them to anyway.
 	byDecision [4]*metrics.Counter
 }
 

@@ -1,6 +1,9 @@
 package gaahttp
 
 import (
+	"bufio"
+	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -192,7 +195,10 @@ func MetricsHandler(reg *metrics.Registry) http.Handler {
 	})
 }
 
-// statusWriter captures the response code for the request counter.
+// statusWriter captures the response code for the request counter. It
+// forwards the optional ResponseWriter interfaces the net/http server
+// may rely on: Flusher, Hijacker (websocket/CONNECT upgrades) and
+// io.ReaderFrom (sendfile on static responses).
 type statusWriter struct {
 	http.ResponseWriter
 	code int
@@ -207,6 +213,19 @@ func (w *statusWriter) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}
+
+// ReadFrom delegates to io.Copy, which uses the underlying writer's
+// ReaderFrom when it has one and plain buffered copying otherwise.
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	return io.Copy(w.ResponseWriter, src)
 }
 
 // InstrumentHandler wraps next with request counting by status-code

@@ -1,6 +1,9 @@
 package gaahttp
 
 import (
+	"bufio"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -170,5 +173,51 @@ func TestRegisterComponentMetricsNilTolerant(t *testing.T) {
 		if fams[absent] != nil {
 			t.Errorf("family %s registered for a nil component", absent)
 		}
+	}
+}
+
+// hijackRecorder fakes a hijackable ResponseWriter so the test does not
+// need a live TCP server.
+type hijackRecorder struct {
+	*httptest.ResponseRecorder
+	hijacked bool
+}
+
+func (h *hijackRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h.hijacked = true
+	return nil, nil, nil
+}
+
+// TestStatusWriterForwardsOptionalInterfaces: the instrumentation
+// wrapper must not hide Hijacker (connection upgrades) or io.ReaderFrom
+// (sendfile) from wrapped handlers.
+func TestStatusWriterForwardsOptionalInterfaces(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := &hijackRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h := InstrumentHandler(reg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(io.ReaderFrom); !ok {
+			t.Error("wrapped writer lost io.ReaderFrom")
+		}
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("wrapped writer is not an http.Hijacker")
+		}
+		if _, _, err := hj.Hijack(); err != nil {
+			t.Errorf("Hijack: %v", err)
+		}
+	}))
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !rec.hijacked {
+		t.Error("Hijack did not reach the underlying ResponseWriter")
+	}
+
+	// Against a plain (non-hijackable) writer it must fail cleanly, not
+	// panic or pretend to succeed.
+	sw := &statusWriter{ResponseWriter: httptest.NewRecorder(), code: http.StatusOK}
+	if _, _, err := sw.Hijack(); err == nil {
+		t.Error("Hijack on a non-hijackable writer: want error, got nil")
+	}
+	if n, err := sw.ReadFrom(strings.NewReader("body")); n != 4 || err != nil {
+		t.Errorf("ReadFrom = (%d, %v), want (4, nil)", n, err)
 	}
 }

@@ -154,7 +154,12 @@ func (r *Registry) add(name, help string, kind Kind, bounds []float64, labels []
 		panic("metrics: duplicate series " + name + s.signature)
 	}
 	f.seen[s.signature] = true
-	f.series = append(f.series, s)
+	// Insert in signature order under the lock: collection snapshots
+	// the slice as-is and must never re-sort shared state outside r.mu.
+	i := sort.Search(len(f.series), func(i int) bool { return f.series[i].signature > s.signature })
+	f.series = append(f.series, nil)
+	copy(f.series[i+1:], f.series[i:])
+	f.series[i] = s
 }
 
 func equalBounds(a, b []float64) bool {
@@ -181,19 +186,32 @@ func (r *Registry) Families() []string {
 	return names
 }
 
-// sortedFamilies snapshots the family list under the lock; the
-// per-series reads afterwards are lock-free against writers.
-func (r *Registry) sortedFamilies() []*family {
+// familyView is a per-collection snapshot of one family: the immutable
+// metadata plus a copy of the series slice taken under r.mu. Series are
+// kept signature-sorted at insertion, so collection never touches (let
+// alone mutates) shared registry state outside the lock — concurrent
+// scrapes only race on the striped atomics, which is their contract.
+type familyView struct {
+	name, help string
+	kind       Kind
+	series     []*series
+}
+
+// sortedFamilies snapshots every family under the lock; the per-series
+// value reads afterwards are lock-free against writers.
+func (r *Registry) sortedFamilies() []familyView {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]familyView, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		fams = append(fams, familyView{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: append([]*series(nil), f.series...),
+		})
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	for _, f := range fams {
-		sort.Slice(f.series, func(i, j int) bool { return f.series[i].signature < f.series[j].signature })
-	}
 	return fams
 }
 
@@ -224,7 +242,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(b *strings.Builder, f *family, s *series) {
+func writeSeries(b *strings.Builder, f familyView, s *series) {
 	switch f.kind {
 	case KindHistogram:
 		snap := s.hist.Snapshot()

@@ -21,8 +21,11 @@ func TestStressConcurrentCollect(t *testing.T) {
 	)
 	r := NewRegistry()
 	c := r.Counter("stress_total", "s")
+	// Deliberately unsorted registration order (as map iteration in the
+	// wiring layers produces): collection must not re-sort the shared
+	// series slice outside the registry lock.
 	labeled := make([]*Counter, 3)
-	for i, v := range []string{"a", "b", "c"} {
+	for i, v := range []string{"c", "a", "b"} {
 		labeled[i] = r.Counter("stress_labeled_total", "s", L("k", v))
 	}
 	h := r.Histogram("stress_seconds", "s", []float64{1e-6, 1e-3, 1})
@@ -130,5 +133,75 @@ func TestStressConcurrentCollect(t *testing.T) {
 	}
 	if err := CheckHistogramInvariants(fams["stress_seconds"]); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentCollectUnsortedRegistration is a regression test for a
+// data race: collection used to sort the shared per-family series slice
+// in place after releasing the registry lock, so two simultaneous
+// scrapes of a family registered in non-sorted label order (exactly
+// what gaa.WithMetrics produces by iterating a map) performed
+// concurrent swaps on the same backing array. Run under -race.
+func TestConcurrentCollectUnsortedRegistration(t *testing.T) {
+	// The race window was the FIRST scrape of a freshly-registered
+	// unsorted family (one sort pass later, the slice is sorted and
+	// concurrent sorts stop swapping), so each round builds a new
+	// registry and releases all scrapers through a barrier at once.
+	// Each scraper performs exactly ONE collection: a second collection
+	// in the same goroutine would re-acquire the registry lock after the
+	// buggy out-of-lock sort and publish its writes to every later
+	// acquirer, hiding the race from the detector's happens-before graph.
+	var r *Registry
+	for round := 0; round < 50; round++ {
+		r = NewRegistry()
+		for _, v := range []string{"zeta", "mid", "alpha", "omega", "beta"} {
+			r.Counter("unsorted_total", "s", L("k", v)).Inc()
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				if i%2 == 0 {
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+					}
+				} else {
+					r.Values()
+				}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+	}
+
+	// Exposition must come out sorted by label signature with no series
+	// duplicated or lost by the concurrent scrapes.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "unsorted_total{") {
+			got = append(got, line)
+		}
+	}
+	want := []string{
+		`unsorted_total{k="alpha"} 1`,
+		`unsorted_total{k="beta"} 1`,
+		`unsorted_total{k="mid"} 1`,
+		`unsorted_total{k="omega"} 1`,
+		`unsorted_total{k="zeta"} 1`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("series lines = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
 	}
 }
