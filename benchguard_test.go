@@ -26,10 +26,16 @@ const benchGuardScale = 0.01
 // cached path got more than 2x slower than the committed baseline.
 const benchGuardFactor = 2.0
 
-// benchGuardScenarios are the cached decision paths the guard pins;
-// server-e11 runs too (via the same sweep) but is not gated, as whole
-// requests through the server are too noisy at smoke scale.
-var benchGuardScenarios = []string{"guard-cached", "api-grant-cached"}
+// benchGuardScenarios are the decision paths the guard pins — the
+// cached paths plus the uncached (per-op retrieval, compiled-engine)
+// paths; server-e11 and api-grant-interp run too (via the same sweep)
+// but are not gated: whole requests through the server are too noisy
+// at smoke scale, and the interpreted scan exists only as the
+// compiled engine's comparison baseline.
+var benchGuardScenarios = []string{
+	"guard-cached", "api-grant-cached",
+	"guard-uncached", "api-grant-uncached",
+}
 
 func TestBenchGuard(t *testing.T) {
 	if os.Getenv("GAA_SKIP_BENCH_GUARD") != "" {

@@ -127,3 +127,102 @@ func FuzzGlobCovers(f *testing.F) {
 		}
 	})
 }
+
+// TestGlobCoversQuestionMarkLiteral pins a property easy to get wrong
+// when porting: this glob language has exactly one metacharacter. '?'
+// is an ordinary byte — it appears in query strings ("GET /x?q=1") and
+// must match only itself, never "any one character".
+func TestGlobCoversQuestionMarkLiteral(t *testing.T) {
+	tests := []struct {
+		outer, inner string
+		want         bool
+	}{
+		{"?", "?", true},  // literal self-cover
+		{"?", "x", false}, // no single-char wildcard semantics
+		{"x", "?", false}, // and not symmetric either
+		{"*", "?", true},  // star still covers the literal '?'
+		{"a?c", "a?c", true},
+		{"a?c", "abc", false}, // '?' does not stand for 'b'
+		{"a*c", "a?c", true},  // star absorbs the literal '?'
+		{"a?c", "a*c", false}, // inner matches "abc", outer does not
+		{"GET /x?*", "GET /x?q=1", true},
+		{"GET /x?q=1", "GET /x?*", false},
+	}
+	for _, tt := range tests {
+		if got := GlobCovers(tt.outer, tt.inner); got != tt.want {
+			t.Errorf("GlobCovers(%q, %q) = %v, want %v", tt.outer, tt.inner, got, tt.want)
+		}
+		// Matching must agree with coverage on the literal reading.
+		if tt.want && !Glob(tt.outer, tt.inner) && tt.inner == collapseNoStar(tt.inner) {
+			t.Errorf("Glob(%q, %q) = false but outer covers the literal inner", tt.outer, tt.inner)
+		}
+	}
+	if !Glob("?", "?") || Glob("?", "x") {
+		t.Error(`Glob must treat '?' as a literal byte`)
+	}
+}
+
+// collapseNoStar reports pattern-free strings back unchanged; a helper
+// so the agreement check above only fires for literal inners.
+func collapseNoStar(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' {
+			return ""
+		}
+	}
+	return s
+}
+
+// TestGlobCoversEmptyEdges pins the empty-pattern boundary: the empty
+// glob denotes the language {""}, not the empty language and not "*".
+func TestGlobCoversEmptyEdges(t *testing.T) {
+	if !Glob("", "") {
+		t.Error(`Glob("", "") = false, want true`)
+	}
+	if Glob("", "x") {
+		t.Error(`Glob("", "x") = true, want false`)
+	}
+	if !GlobCovers("*", "") || !GlobsOverlap("*", "") {
+		t.Error(`"*" must cover and overlap the empty pattern`)
+	}
+	if GlobsOverlap("", "a") {
+		t.Error(`"" and "a" have disjoint languages`)
+	}
+	if !GlobsOverlap("", "*") {
+		t.Error(`"" and "*" share the empty string`)
+	}
+}
+
+// TestRightSetIntersectionWithNegation exercises the policy-validation
+// use of the cover DPs: a negative entry shadows positive entries for
+// any overlapping right set, because MatchRight ignores signs — the
+// intersection of the matched right sets is what matters, not the sign.
+func TestRightSetIntersectionWithNegation(t *testing.T) {
+	deny := Right{Sign: Neg, DefAuth: "apache", Value: "GET /cgi-bin/*"}
+	allow := Right{Sign: Pos, DefAuth: "apache", Value: "GET /cgi-bin/phf?*"}
+	disjoint := Right{Sign: Pos, DefAuth: "apache", Value: "GET /static/*"}
+	anyAuth := Right{Sign: Neg, DefAuth: "*", Value: "*"}
+
+	if !RightsOverlap(deny, allow) {
+		t.Error("neg and pos entries over nested values must overlap")
+	}
+	if !RightCovers(deny, allow) {
+		t.Error("the deny's right set contains the allow's (signs ignored)")
+	}
+	if RightCovers(allow, deny) {
+		t.Error("the narrower allow must not cover the wider deny")
+	}
+	if RightsOverlap(deny, disjoint) {
+		t.Error("disjoint value languages must not overlap")
+	}
+	// The paper's mandatory system entry "neg_access_right * *" covers
+	// and overlaps every right regardless of sign.
+	for _, r := range []Right{deny, allow, disjoint} {
+		if !RightCovers(anyAuth, r) || !RightsOverlap(anyAuth, r) {
+			t.Errorf("* * must cover and overlap %+v", r)
+		}
+	}
+	if RightCovers(anyAuth, Right{DefAuth: "apache"}) != true {
+		t.Error("* * covers the empty-value right too")
+	}
+}

@@ -37,6 +37,20 @@ func NewUsage(clock func() time.Time) *Usage {
 	return &Usage{start: clock(), clock: clock}
 }
 
+// Reset restarts accounting at clock() (nil means time.Now), zeroing
+// all counters, so servers can pool Usage values across requests.
+// Must not be called while an operation is still crediting usage.
+func (u *Usage) Reset(clock func() time.Time) {
+	if clock == nil {
+		clock = time.Now
+	}
+	u.clock = clock
+	u.start = clock()
+	u.cpuMillis.Store(0)
+	u.memBytes.Store(0)
+	u.outputBytes.Store(0)
+}
+
 // AddCPU credits simulated CPU consumption.
 func (u *Usage) AddCPU(d time.Duration) { u.cpuMillis.Add(d.Milliseconds()) }
 
@@ -115,6 +129,16 @@ func Run(ctx context.Context, u *Usage, op func(context.Context, *Usage) error, 
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
+	var res Result
+	if check == nil {
+		// Unmonitored operation: run synchronously on this goroutine.
+		// No cancellation source exists besides the caller's context,
+		// so the goroutine, channel and derived context would be pure
+		// overhead on the server's hot path.
+		res.Err = op(ctx, u)
+		res.Final = u.Snapshot()
+		return res
+	}
 	opCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -122,13 +146,6 @@ func Run(ctx context.Context, u *Usage, op func(context.Context, *Usage) error, 
 	go func() {
 		done <- op(opCtx, u)
 	}()
-
-	var res Result
-	if check == nil {
-		res.Err = <-done
-		res.Final = u.Snapshot()
-		return res
-	}
 
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()

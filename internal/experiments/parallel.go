@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +125,38 @@ func parallelScenarios() []parallelScenario {
 				}
 			}, func() {}, nil
 		}},
+		// guard-cached without the composed-policy cache: every check
+		// re-retrieves and re-composes the policy from stable in-memory
+		// sources, so the figure isolates composition + decision cost.
+		// (Stable sources keep the compiled-program cache warm, as a
+		// SwappableSource deployment would.)
+		{name: "guard-uncached", ops: 20000, build: func(opts Options) (func() func() error, func(), error) {
+			api := gaa.New()
+			conditions.Register(api, conditions.Deps{
+				Threat: ids.NewManager(ids.Low),
+				Groups: groups.NewStore(),
+			})
+			sys := gaa.NewMemorySource()
+			if err := sys.AddPolicy("*", Policy71System); err != nil {
+				return nil, nil, err
+			}
+			loc := gaa.NewMemorySource()
+			if err := loc.AddPolicy("*", Policy72LocalNoNotify); err != nil {
+				return nil, nil, err
+			}
+			guard := gaahttp.New(gaahttp.Config{
+				API:    api,
+				System: []gaa.PolicySource{sys},
+				Local:  []gaa.PolicySource{loc},
+			})
+			rec := httpd.NewRequestRec(workload.Legit(1, opts.Seed)[0].HTTPRequest(), nil, time.Now())
+			return func() func() error {
+				return func() error {
+					guard.Check(rec)
+					return nil
+				}
+			}, func() {}, nil
+		}},
 		// The core three-phase entry point alone: a trace-disabled grant
 		// on a cached policy through CheckAuthorizationInto, each worker
 		// reusing its own Answer (the zero-allocation fast path).
@@ -159,6 +191,13 @@ func parallelScenarios() []parallelScenario {
 				}
 			}, func() {}, nil
 		}},
+		// The decision engine with no caching anywhere: the policy is
+		// re-retrieved per op and the answer recomputed. The compiled
+		// first-match program carries the evaluation...
+		{name: "api-grant-uncached", ops: 50000, build: buildAPIGrantUncached(true)},
+		// ...and the same scenario on the interpreted per-entry scan,
+		// the before/after pair for the compiled engine.
+		{name: "api-grant-interp", ops: 50000, build: buildAPIGrantUncached(false)},
 		// The E11 shape: whole requests through the guarded server.
 		{name: "server-e11", ops: 10000, build: func(opts Options) (func() func() error, func(), error) {
 			st, err := gaahttp.NewStack(gaahttp.StackConfig{
@@ -172,17 +211,111 @@ func parallelScenarios() []parallelScenario {
 			}
 			r := workload.Legit(1, opts.Seed)[0]
 			return func() func() error {
+				// Per-worker reusable response sink and a prebuilt
+				// request, so the figure is the server's own cost, not
+				// the recorder harness's.
+				w := newNullResponse()
+				hr := r.HTTPRequest()
 				return func() error {
-					rec := httptest.NewRecorder()
-					st.Server.ServeHTTP(rec, r.HTTPRequest())
-					if rec.Code != http.StatusOK {
-						return fmt.Errorf("status %d for %s", rec.Code, r.Target)
+					w.reset()
+					st.Server.ServeHTTP(w, hr)
+					if w.code != http.StatusOK {
+						return fmt.Errorf("status %d for %s", w.code, r.Target)
 					}
 					return nil
 				}
 			}, st.Close, nil
 		}},
 	}
+}
+
+// signatureSweepPolicy is the uncached-grant workload: the section 7.2
+// signature list grown to a realistic IDS signature database — n
+// per-path deny entries (each guarding one known-exploit URL prefix),
+// the paper's buffer-overflow detector, then the allow-everything-else
+// entry. A legitimate request matches none of the deny rights, which
+// is precisely the shape the compiled first-match trie prunes and the
+// interpreted scan pays O(entries) for.
+func signatureSweepPolicy(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "neg_access_right apache GET /cgi-bin/sig%d*\npre_cond_system_threat_level local >low\n", i)
+	}
+	b.WriteString("neg_access_right apache *\npre_cond_expr local input_length>1000\npos_access_right apache *\n")
+	return b.String()
+}
+
+// buildAPIGrantUncached is the shared shape of the uncached-grant
+// scenarios: per-op policy retrieval + decision over the signature
+// sweep, with the compiled engine on or off.
+func buildAPIGrantUncached(compiled bool) func(Options) (func() func() error, func(), error) {
+	return func(opts Options) (func() func() error, func(), error) {
+		api := gaa.New(gaa.WithCompiledEngine(compiled))
+		conditions.Register(api, conditions.Deps{
+			Threat: ids.NewManager(ids.Low),
+			Groups: groups.NewStore(),
+		})
+		src := gaa.NewMemorySource()
+		if err := src.AddPolicy("*", signatureSweepPolicy(128)); err != nil {
+			return nil, nil, err
+		}
+		local := []gaa.PolicySource{src}
+		req := gaa.NewRequest("apache", "GET /index.html",
+			gaa.Param{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: "GET /index.html"},
+			gaa.Param{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: "14"})
+		return func() func() error {
+			ans := new(gaa.Answer)
+			ctx := context.Background()
+			return func() error {
+				policy, err := api.GetObjectPolicyInfo("/index.html", nil, local)
+				if err != nil {
+					return err
+				}
+				if err := api.CheckAuthorizationInto(ctx, policy, req, ans); err != nil {
+					return err
+				}
+				if ans.Decision != gaa.Yes {
+					return fmt.Errorf("decision = %v, want yes", ans.Decision)
+				}
+				return nil
+			}
+		}, func() {}, nil
+	}
+}
+
+// nullResponse is a reusable ResponseWriter that discards bodies; the
+// parallel suite uses it instead of httptest.NewRecorder so harness
+// allocations stay out of the per-op figures.
+type nullResponse struct {
+	header http.Header
+	code   int
+	bytes  int
+}
+
+func newNullResponse() *nullResponse {
+	return &nullResponse{header: make(http.Header, 4)}
+}
+
+func (w *nullResponse) Header() http.Header { return w.header }
+
+func (w *nullResponse) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *nullResponse) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+func (w *nullResponse) reset() {
+	w.code = 0
+	w.bytes = 0
+	clear(w.header)
 }
 
 // ParallelResults runs every scenario at every concurrency level.

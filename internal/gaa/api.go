@@ -32,6 +32,12 @@ type API struct {
 	// time every phase execution).
 	metrics            *apiInstruments
 	metricsSampleShift uint
+
+	// Compiled decision engine (compiled.go): the program cache, its
+	// counters, and the WithCompiledEngine(false) escape hatch.
+	compileOff bool
+	progs      programTable
+	compiled   compileCounters
 }
 
 // Option configures an API.
@@ -125,11 +131,13 @@ func (a *API) CacheStats() CacheStats {
 	return a.cache.snapshot()
 }
 
-// InvalidateCache drops all cached policies.
+// InvalidateCache drops all cached policies and compiled decision
+// programs.
 func (a *API) InvalidateCache() {
 	if a.cache != nil {
 		a.cache.invalidate()
 	}
+	a.progs.invalidate()
 }
 
 // GetObjectPolicyInfo retrieves and composes the policies governing
@@ -217,6 +225,9 @@ func (a *API) composePolicy(object string, system, local []PolicySource) (*Polic
 type evalState struct {
 	req      Request
 	deciders []decidingEntry
+	// cs is the compiled-engine working set (bitsets and the fast-cond
+	// memo table), kept warm across pool cycles.
+	cs compiledScratch
 }
 
 var statePool = sync.Pool{New: func() any { return new(evalState) }}
@@ -272,7 +283,13 @@ func (a *API) CheckAuthorizationInto(ctx context.Context, p *Policy, req *Reques
 	}
 	st := a.getState(req)
 	r := &st.req
-	res := a.evaluatePolicy(ctx, p, r, st)
+	var res evalResult
+	if prog := a.compiledFor(p, r); prog != nil {
+		a.compiled.runs.Add(1)
+		res = a.evaluatePolicyCompiled(ctx, prog, r, st)
+	} else {
+		res = a.evaluatePolicy(ctx, p, r, st)
+	}
 
 	*ans = Answer{
 		Decision:    res.decision,

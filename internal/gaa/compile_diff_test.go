@@ -1,0 +1,322 @@
+package gaa_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/experiments"
+	"gaaapi/internal/gaa"
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+)
+
+// The differential harness: one compiled and one interpreted API over
+// identically-built dependencies (own threat manager and group store
+// seeded the same way, shared frozen clock). Policies are composed
+// once and the same *Policy is handed to both engines, so any
+// divergence in the Answer is the compiler's fault.
+
+type diffPair struct {
+	compiled    *gaa.API
+	interpreted *gaa.API
+}
+
+func newDiffPair(threat ids.Level, badGuys []string, now time.Time) diffPair {
+	mk := func(opts ...gaa.Option) *gaa.API {
+		store := groups.NewStore()
+		for _, m := range badGuys {
+			store.Add("BadGuys", m)
+		}
+		opts = append([]gaa.Option{gaa.WithClock(func() time.Time { return now })}, opts...)
+		a := gaa.New(opts...)
+		conditions.Register(a, conditions.Deps{
+			Threat: ids.NewManager(threat),
+			Groups: store,
+		})
+		return a
+	}
+	return diffPair{
+		compiled:    mk(),
+		interpreted: mk(gaa.WithCompiledEngine(false)),
+	}
+}
+
+// check runs the same request through both engines and fails the test
+// on any observable difference: decision, applicability, challenge,
+// unevaluated conditions, mid/post blocks, faults and fault traces.
+func (d diffPair) check(t *testing.T, label string, p *gaa.Policy, mkReq func() *gaa.Request) {
+	t.Helper()
+	ctx := context.Background()
+	ac, err := d.compiled.CheckAuthorization(ctx, p, mkReq())
+	if err != nil {
+		t.Fatalf("%s: compiled: %v", label, err)
+	}
+	ai, err := d.interpreted.CheckAuthorization(ctx, p, mkReq())
+	if err != nil {
+		t.Fatalf("%s: interpreted: %v", label, err)
+	}
+	if diff := answerDiff(ac, ai); diff != "" {
+		t.Errorf("%s: compiled and interpreted answers differ: %s", label, diff)
+	}
+}
+
+func answerDiff(c, i *gaa.Answer) string {
+	if c.Decision != i.Decision {
+		return fmt.Sprintf("decision %v vs %v", c.Decision, i.Decision)
+	}
+	if c.Applicable != i.Applicable {
+		return fmt.Sprintf("applicable %v vs %v", c.Applicable, i.Applicable)
+	}
+	if c.Challenge != i.Challenge {
+		return fmt.Sprintf("challenge %q vs %q", c.Challenge, i.Challenge)
+	}
+	if len(c.Unevaluated) != len(i.Unevaluated) {
+		return fmt.Sprintf("unevaluated %d vs %d conds", len(c.Unevaluated), len(i.Unevaluated))
+	}
+	for n := range c.Unevaluated {
+		if c.Unevaluated[n] != i.Unevaluated[n] {
+			return fmt.Sprintf("unevaluated[%d] %+v vs %+v", n, c.Unevaluated[n], i.Unevaluated[n])
+		}
+	}
+	if len(c.Mid) != len(i.Mid) || len(c.Post) != len(i.Post) {
+		return fmt.Sprintf("mid/post %d/%d vs %d/%d conds", len(c.Mid), len(c.Post), len(i.Mid), len(i.Post))
+	}
+	for n := range c.Mid {
+		if c.Mid[n] != i.Mid[n] {
+			return fmt.Sprintf("mid[%d] %+v vs %+v", n, c.Mid[n], i.Mid[n])
+		}
+	}
+	for n := range c.Post {
+		if c.Post[n] != i.Post[n] {
+			return fmt.Sprintf("post[%d] %+v vs %+v", n, c.Post[n], i.Post[n])
+		}
+	}
+	if len(c.Faults) != len(i.Faults) {
+		return fmt.Sprintf("faults %d vs %d", len(c.Faults), len(i.Faults))
+	}
+	for n := range c.Faults {
+		cf, fi := c.Faults[n], i.Faults[n]
+		if cf.Cond != fi.Cond || cf.Kind != fi.Kind || cf.Reason != fi.Reason {
+			return fmt.Sprintf("fault[%d] {%v %v %q} vs {%v %v %q}",
+				n, cf.Cond.Type, cf.Kind, cf.Reason, fi.Cond.Type, fi.Kind, fi.Reason)
+		}
+	}
+	// Untraced requests still trace degraded evaluations.
+	if len(c.Trace) != len(i.Trace) {
+		return fmt.Sprintf("fault-trace %d vs %d events", len(c.Trace), len(i.Trace))
+	}
+	for n := range c.Trace {
+		ct, it := c.Trace[n], i.Trace[n]
+		if ct.Source != it.Source || ct.EntryLine != it.EntryLine || ct.Cond != it.Cond ||
+			ct.Note != it.Note ||
+			ct.Outcome.Result != it.Outcome.Result ||
+			ct.Outcome.Unevaluated != it.Outcome.Unevaluated ||
+			ct.Outcome.Fault != it.Outcome.Fault ||
+			ct.Outcome.Detail != it.Outcome.Detail ||
+			ct.Outcome.Challenge != it.Outcome.Challenge {
+			return fmt.Sprintf("trace[%d] differs: {%v %q} vs {%v %q}",
+				n, ct.Outcome.Result, ct.Outcome.Detail, it.Outcome.Result, it.Outcome.Detail)
+		}
+	}
+	return ""
+}
+
+func composePolicy(t *testing.T, a *gaa.API, object, sysText, locText string) *gaa.Policy {
+	t.Helper()
+	var system, local []gaa.PolicySource
+	if sysText != "" {
+		src := gaa.NewMemorySource()
+		if err := src.AddPolicy("*", sysText); err != nil {
+			t.Fatalf("system policy: %v", err)
+		}
+		system = append(system, src)
+	}
+	if locText != "" {
+		src := gaa.NewMemorySource()
+		if err := src.AddPolicy("*", locText); err != nil {
+			t.Fatalf("local policy: %v", err)
+		}
+		local = append(local, src)
+	}
+	p, err := a.GetObjectPolicyInfo(object, system, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompiledMatchesInterpretedOnRepoPolicies sweeps every policy
+// shipped in the repository — the section 7 files under
+// policies/paper/ and the experiments' inline copies — across a
+// request matrix of rights, identities, client addresses, CGI input
+// lengths and threat levels, requiring identical answers from both
+// engines on each cell.
+func TestCompiledMatchesInterpretedOnRepoPolicies(t *testing.T) {
+	sysPolicies := map[string]string{
+		"none": "",
+		"71":   experiments.Policy71System,
+		"72":   experiments.Policy72System,
+	}
+	locPolicies := map[string]string{
+		"71":   experiments.Policy71Local,
+		"72":   experiments.Policy72Local,
+		"72nn": experiments.Policy72LocalNoNotify,
+	}
+	dir := filepath.Join("..", "..", "policies", "paper")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nfiles int
+	for _, f := range files {
+		if filepath.Ext(f.Name()) != ".eacl" {
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(f.Name(), "system-") {
+			sysPolicies["file:"+f.Name()] = string(text)
+		} else {
+			locPolicies["file:"+f.Name()] = string(text)
+		}
+		nfiles++
+	}
+	if nfiles == 0 {
+		t.Fatalf("no .eacl files under %s", dir)
+	}
+
+	rights := []string{
+		"GET /index.html",
+		"GET /cgi-bin/phf?q=x",
+		"GET /cgi-bin/test-cgi",
+		"GET /a///////////////////b",
+		"POST /scripts/cmd.exe",
+	}
+	users := []string{"", "alice"}
+	ips := []string{"10.9.9.9", "192.168.1.5"}
+	inputs := []string{"14", "2000"}
+	now := time.Date(2026, time.March, 4, 15, 30, 0, 0, time.UTC)
+
+	var totalRuns uint64
+	for _, threat := range []ids.Level{ids.Low, ids.Medium, ids.High} {
+		pair := newDiffPair(threat, []string{"10.9.9.9"}, now)
+		for sysName, sysText := range sysPolicies {
+			for locName, locText := range locPolicies {
+				p := composePolicy(t, pair.compiled, "/index.html", sysText, locText)
+				for _, right := range rights {
+					for _, user := range users {
+						for _, ip := range ips {
+							for _, in := range inputs {
+								label := fmt.Sprintf("threat=%v sys=%s loc=%s right=%q user=%q ip=%s in=%s",
+									threat, sysName, locName, right, user, ip, in)
+								pair.check(t, label, p, func() *gaa.Request {
+									params := gaa.ParamList{
+										{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: ip},
+										{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: in},
+									}
+									if user != "" {
+										params = append(params, gaa.Param{
+											Type: gaa.ParamUser, Authority: gaa.AuthorityAny, Value: user,
+										})
+									}
+									return gaa.NewRequest("apache", right, params...)
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+		totalRuns += pair.compiled.CompileStats().Runs
+	}
+	if totalRuns == 0 {
+		t.Error("compiled engine never ran during the sweep")
+	}
+}
+
+// FuzzCompiledVsInterpreted is the differential fuzzer: arbitrary
+// system/local EACL texts, right values, identities and environment
+// knobs, with the compiled and interpreted engines required to agree
+// on the complete answer — decision, reasons and fault degradation.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	seed := func(sys, loc, right, user, ip string, inputLen, threat, hour, day int) {
+		f.Add(sys, loc, right, user, ip, inputLen, threat, hour, day)
+	}
+	// Section 7 combinations.
+	seed(experiments.Policy71System, experiments.Policy71Local, "GET /index.html", "", "10.9.9.9", 14, 2, 15, 3)
+	seed(experiments.Policy72System, experiments.Policy72Local, "GET /cgi-bin/phf?q=x", "alice", "10.9.9.9", 14, 0, 15, 3)
+	seed("", experiments.Policy72LocalNoNotify, "GET /index.html", "", "192.168.1.5", 2000, 1, 9, 0)
+	// Redirect left unevaluated for the application.
+	seed("", "pos_access_right apache *\npre_cond_redirect local http://mirror.example/", "GET /x", "", "1.2.3.4", 0, 0, 0, 0)
+	// Authentication challenge from a failed USER requirement.
+	seed("", "pos_access_right apache *\npre_cond_accessid_USER apache alice bob", "GET /x", "", "1.2.3.4", 0, 0, 0, 0)
+	// Unknown condition type: no evaluator registered on either path.
+	seed("", "pos_access_right apache *\npre_cond_mystery local v", "GET /x", "", "1.2.3.4", 0, 0, 0, 0)
+	// '@' value reference: stays on the dynamic fallback.
+	seed("", "pos_access_right apache *\npre_cond_location local @trusted_nets", "GET /x", "", "1.2.3.4", 0, 0, 0, 0)
+	// Malformed CIDR degrades to an error fault identically.
+	seed("", "pos_access_right apache *\npre_cond_location local 10.0.0.0/16 not-a-cidr", "GET /x", "", "10.0.1.2", 0, 0, 0, 0)
+	// Anchored regex and a wrapping overnight time window.
+	seed("", "neg_access_right apache *\npre_cond_regex gnu re:^GET /secret/.*$\npos_access_right apache *", "GET /secret/x", "", "1.2.3.4", 0, 0, 0, 0)
+	seed(experiments.Policy71System, "pos_access_right apache *\npre_cond_time_window local 18:00-08:00", "GET /x", "", "1.2.3.4", 0, 1, 23, 5)
+	seed("", "pos_access_right apache *\npre_cond_time_window local 09:00-17:00 Mon-Fri", "GET /x", "", "1.2.3.4", 0, 0, 12, 6)
+	// Threat-level comparison operators and group membership.
+	seed("eacl_mode narrow\nneg_access_right * *\npre_cond_system_threat_level local >=medium", "pos_access_right apache *", "GET /x", "", "1.2.3.4", 0, 2, 0, 0)
+	seed("", "neg_access_right apache *\npre_cond_accessid_GROUP local BadGuys\npos_access_right apache *", "GET /x", "", "10.9.9.9", 0, 0, 0, 0)
+	// Numeric expression against a missing parameter.
+	seed("", "pos_access_right apache *\npre_cond_expr local bogus_param>10", "GET /x", "", "1.2.3.4", 50, 0, 0, 0)
+
+	f.Fuzz(func(t *testing.T, sys, loc, right, user, ip string, inputLen, threat, hour, day int) {
+		mod := func(v, n int) int { return ((v % n) + n) % n }
+		level := ids.Level(mod(threat, 3) + 1)
+		now := time.Date(2026, time.March, 1+mod(day, 28), mod(hour, 24), 30, 0, 0, time.UTC)
+		pair := newDiffPair(level, []string{"10.9.9.9"}, now)
+
+		var system, local []gaa.PolicySource
+		if sys != "" {
+			src := gaa.NewMemorySource()
+			if err := src.AddPolicy("*", sys); err != nil {
+				t.Skip("unparseable system policy")
+			}
+			system = append(system, src)
+		}
+		if loc != "" {
+			src := gaa.NewMemorySource()
+			if err := src.AddPolicy("*", loc); err != nil {
+				t.Skip("unparseable local policy")
+			}
+			local = append(local, src)
+		}
+		if len(system)+len(local) == 0 {
+			t.Skip("no policy")
+		}
+		p, err := pair.compiled.GetObjectPolicyInfo("/index.html", system, local)
+		if err != nil {
+			t.Skip("composition failed")
+		}
+		before := pair.compiled.CompileStats().Runs
+		pair.check(t, "fuzz", p, func() *gaa.Request {
+			params := gaa.ParamList{
+				{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: ip},
+				{Type: gaa.ParamInputLength, Authority: gaa.AuthorityAny, Value: fmt.Sprint(mod(inputLen, 1<<16))},
+			}
+			if user != "" {
+				params = append(params, gaa.Param{
+					Type: gaa.ParamUser, Authority: gaa.AuthorityAny, Value: user,
+				})
+			}
+			return gaa.NewRequest("apache", right, params...)
+		})
+		if pair.compiled.CompileStats().Runs == before {
+			t.Error("compiled engine did not run (gated off unexpectedly)")
+		}
+	})
+}

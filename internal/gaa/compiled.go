@@ -1,0 +1,616 @@
+package gaa
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"gaaapi/internal/eacl"
+)
+
+// This file is the compiled first-match decision engine: at policy
+// load/compose time the composed EACL is translated into a decision
+// program — right globs interned into prefix tries, cheap selector
+// conditions (threat level, time windows, CIDR membership, group
+// membership, …) hoisted into pre-resolved tests evaluated once per
+// request instead of once per entry — and the per-request scan runs
+// over the program instead of re-interpreting the entry list. Dynamic
+// conditions ('@value' references, custom evaluators, stateful
+// built-ins) fall back to the supervised interpreter per occurrence,
+// so faults, timeouts and adaptive values behave identically.
+//
+// The engine is a pure performance layer: for every request it must
+// produce exactly the answer the interpreted scan would (decision,
+// applicability, challenge, unevaluated conditions, deciding entries,
+// faults). compile_diff_test.go enforces that with a differential
+// fuzz test and a golden sweep over the repository's policies.
+
+// CompiledCond is a condition evaluation specialized at policy-compile
+// time: parsing, pattern compilation and static lookups are done once,
+// and EvalCompiled performs only the per-request test. Implementations
+// must be pure per request — two calls with the same request must
+// return the same Outcome — because the engine memoizes the outcome
+// across entries of one request. They must produce exactly the Outcome
+// the evaluator they were compiled from would produce for a
+// trace-disabled request (the engine never runs traced requests).
+type CompiledCond interface {
+	EvalCompiled(req *Request) Outcome
+}
+
+// CondCompiler is implemented by evaluators that can specialize some
+// of their conditions at policy-compile time. CompileCond returns
+// (nil, false) when the condition must stay on the interpreted path
+// (unparseable values, per-request state, side effects).
+type CondCompiler interface {
+	CompileCond(cond eacl.Condition) (CompiledCond, bool)
+}
+
+// WithCompiledEngine toggles compilation of composed policies into
+// first-match decision programs (on by default). Tracing, evaluator
+// deadlines and evaluator wrappers force the interpreted path
+// regardless; the switch exists for A/B measurement and as an
+// operational escape hatch.
+func WithCompiledEngine(enabled bool) Option {
+	return optionFunc(func(a *API) { a.compileOff = !enabled })
+}
+
+// CompileStats reports compiled-engine activity since the API was
+// built.
+type CompileStats struct {
+	// Programs is the number of decision programs compiled (recompiles
+	// after a registry change or cache reset count again).
+	Programs uint64
+	// FastConds and DynamicConds count condition occurrences across all
+	// compiled programs that were hoisted into pre-resolved tests vs
+	// left on the supervised interpreter.
+	FastConds    uint64
+	DynamicConds uint64
+	// Runs is the number of CheckAuthorization evaluations served by a
+	// compiled program instead of the interpreted scan.
+	Runs uint64
+}
+
+// compileCounters is the hot-path representation of CompileStats.
+type compileCounters struct {
+	programs atomic.Uint64
+	fast     atomic.Uint64
+	dynamic  atomic.Uint64
+	runs     atomic.Uint64
+}
+
+// CompileStats returns the compiled-engine counters.
+func (a *API) CompileStats() CompileStats {
+	return CompileStats{
+		Programs:     a.compiled.programs.Load(),
+		FastConds:    a.compiled.fast.Load(),
+		DynamicConds: a.compiled.dynamic.Load(),
+		Runs:         a.compiled.runs.Load(),
+	}
+}
+
+// maxProgEACLs bounds the EACL count a program key can carry; larger
+// compositions (unseen in practice — the paper composes one system and
+// one local policy) stay interpreted.
+const maxProgEACLs = 8
+
+// progKey identifies a compiled program by the identity of the EACLs
+// entering the composition (interned per-pointer ids) plus the
+// composition shape. Sources return stable *eacl.EACL values across
+// calls (MemorySource snapshots, FileSource/DirSource parse caches),
+// so the uncached GetObjectPolicyInfo path re-keys to the same program
+// without re-compiling; a hot reload swaps in newly parsed EACLs and
+// naturally keys a fresh program.
+type progKey struct {
+	mode eacl.CompositionMode
+	nsys uint8
+	nloc uint8
+	ids  [maxProgEACLs]uint32
+}
+
+// patPair is one entry's interned (authority pattern, value pattern)
+// ids, indexed by the entry's program-wide bit.
+type patPair struct {
+	auth  int32
+	value int32
+}
+
+// compiledProgram is one composed policy translated into decision form.
+type compiledProgram struct {
+	mode      eacl.CompositionMode
+	sysExists bool
+	regGen    uint64
+
+	system []compiledEACL
+	local  []compiledEACL
+
+	auth   globTrie
+	value  globTrie
+	nAuth  int
+	nValue int
+	pairs  []patPair
+	nMemo  int
+}
+
+type compiledEACL struct {
+	source  string
+	entries []compiledEntry
+}
+
+type compiledEntry struct {
+	entry *eacl.Entry
+	pos   bool
+	bit   int32
+	pre   []compiledCond
+}
+
+type compiledCond struct {
+	cond eacl.Condition
+	// fast is nil for dynamic conditions (interpreted per occurrence);
+	// memo is the request-scoped memoization slot of fast outcomes.
+	fast CompiledCond
+	memo int32
+}
+
+// programTable caches compiled programs under the API, keyed by
+// interned EACL identity. Reads are lock-free (atomic copy-on-write
+// maps); compilation serializes on mu. Both maps are capped: blowing a
+// cap resets the table, which only costs recompilation.
+type programTable struct {
+	mu    sync.Mutex // writers only
+	ids   atomic.Pointer[map[*eacl.EACL]uint32]
+	progs atomic.Pointer[map[progKey]*compiledProgram]
+	next  uint32
+}
+
+const (
+	maxInternedEACLs = 4096
+	maxPrograms      = 256
+)
+
+func (pt *programTable) keyFor(p *Policy) (progKey, bool) {
+	idsp := pt.ids.Load()
+	if idsp == nil {
+		return progKey{}, false
+	}
+	m := *idsp
+	k := progKey{mode: p.Mode, nsys: uint8(len(p.System)), nloc: uint8(len(p.Local))}
+	i := 0
+	for _, lst := range [2][]*eacl.EACL{p.System, p.Local} {
+		for _, e := range lst {
+			id, ok := m[e]
+			if !ok {
+				return progKey{}, false
+			}
+			k.ids[i] = id
+			i++
+		}
+	}
+	return k, true
+}
+
+// invalidate drops every compiled program (hot-reload hygiene rides on
+// pointer identity instead, but API.InvalidateCache flushes here too).
+func (pt *programTable) invalidate() {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.ids.Store(nil)
+	pt.progs.Store(nil)
+}
+
+// compiledFor returns the decision program for p, compiling and
+// caching it on first sight, or nil when the request must take the
+// interpreted path: compilation disabled, tracing requested (trace
+// notes are interpreter-only), an evaluator deadline or wrapper
+// installed (both interpose per-call machinery a hoisted test would
+// bypass), or a composition too large to key.
+func (a *API) compiledFor(p *Policy, req *Request) *compiledProgram {
+	if a.compileOff || req.Trace || a.evalTimeout > 0 || a.wrapEval != nil {
+		return nil
+	}
+	n := len(p.System) + len(p.Local)
+	if n == 0 || n > maxProgEACLs {
+		return nil
+	}
+	if key, ok := a.progs.keyFor(p); ok {
+		if mp := a.progs.progs.Load(); mp != nil {
+			if prog, ok := (*mp)[key]; ok && prog.regGen == a.reg.generation() {
+				return prog
+			}
+		}
+	}
+	return a.compileAndStore(p)
+}
+
+func (a *API) compileAndStore(p *Policy) *compiledProgram {
+	pt := &a.progs
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+
+	// Intern unseen EACL pointers (copy-on-write), resetting the table
+	// when the id map outgrows its cap — unstable sources that re-parse
+	// per call would otherwise grow it without bound.
+	oldIDs := map[*eacl.EACL]uint32{}
+	if idsp := pt.ids.Load(); idsp != nil {
+		oldIDs = *idsp
+	}
+	missing := 0
+	for _, lst := range [2][]*eacl.EACL{p.System, p.Local} {
+		for _, e := range lst {
+			if _, ok := oldIDs[e]; !ok {
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		if len(oldIDs)+missing > maxInternedEACLs {
+			oldIDs = map[*eacl.EACL]uint32{}
+			pt.progs.Store(nil)
+		}
+		next := make(map[*eacl.EACL]uint32, len(oldIDs)+missing)
+		for k, v := range oldIDs {
+			next[k] = v
+		}
+		for _, lst := range [2][]*eacl.EACL{p.System, p.Local} {
+			for _, e := range lst {
+				if _, ok := next[e]; !ok {
+					pt.next++
+					next[e] = pt.next
+				}
+			}
+		}
+		pt.ids.Store(&next)
+	}
+	key, _ := pt.keyFor(p)
+
+	gen := a.reg.generation()
+	oldProgs := map[progKey]*compiledProgram{}
+	if mp := pt.progs.Load(); mp != nil {
+		oldProgs = *mp
+	}
+	if prog, ok := oldProgs[key]; ok && prog.regGen == gen {
+		return prog // raced with another compiler
+	}
+	prog := a.compileProgram(p, gen)
+	if len(oldProgs) >= maxPrograms {
+		oldProgs = map[progKey]*compiledProgram{}
+	}
+	next := make(map[progKey]*compiledProgram, len(oldProgs)+1)
+	for k, v := range oldProgs {
+		next[k] = v
+	}
+	next[key] = prog
+	pt.progs.Store(&next)
+	return prog
+}
+
+// compileProgram translates the composed policy. Compilation cannot
+// fail: conditions that resist specialization stay dynamic.
+func (a *API) compileProgram(p *Policy, regGen uint64) *compiledProgram {
+	prog := &compiledProgram{
+		mode:      p.Mode,
+		sysExists: len(p.System) > 0,
+		regGen:    regGen,
+	}
+	b := &progBuilder{
+		prog:    prog,
+		authIDs: make(map[string]int32),
+		valIDs:  make(map[string]int32),
+		memoIDs: make(map[memoKey]int32),
+	}
+	prog.system = b.compileLevel(a, p.System)
+	prog.local = b.compileLevel(a, p.Local)
+	prog.nAuth = len(b.authIDs)
+	prog.nValue = len(b.valIDs)
+	prog.nMemo = len(b.memoIDs)
+	a.compiled.programs.Add(1)
+	return prog
+}
+
+type memoKey struct {
+	typ, auth, val string
+}
+
+type progBuilder struct {
+	prog    *compiledProgram
+	authIDs map[string]int32
+	valIDs  map[string]int32
+	memoIDs map[memoKey]int32
+}
+
+func (b *progBuilder) intern(t *globTrie, ids map[string]int32, pattern string) int32 {
+	pattern = collapseStars(pattern)
+	if id, ok := ids[pattern]; ok {
+		return id
+	}
+	id := int32(len(ids))
+	ids[pattern] = id
+	t.insert(pattern, id)
+	return id
+}
+
+func (b *progBuilder) compileLevel(a *API, eacls []*eacl.EACL) []compiledEACL {
+	if len(eacls) == 0 {
+		return nil
+	}
+	out := make([]compiledEACL, 0, len(eacls))
+	for _, e := range eacls {
+		ce := compiledEACL{source: e.Source, entries: make([]compiledEntry, 0, len(e.Entries))}
+		for i := range e.Entries {
+			entry := &e.Entries[i]
+			bit := int32(len(b.prog.pairs))
+			b.prog.pairs = append(b.prog.pairs, patPair{
+				auth:  b.intern(&b.prog.auth, b.authIDs, entry.Right.DefAuth),
+				value: b.intern(&b.prog.value, b.valIDs, entry.Right.Value),
+			})
+			cent := compiledEntry{
+				entry: entry,
+				pos:   entry.Right.Sign == eacl.Pos,
+				bit:   bit,
+			}
+			for ci := range entry.Conditions {
+				cond := entry.Conditions[ci]
+				if cond.Block != eacl.BlockPre {
+					continue
+				}
+				cc := compiledCond{cond: cond, memo: -1}
+				if fast := a.compileCond(cond); fast != nil {
+					cc.fast = fast
+					mk := memoKey{cond.Type, cond.DefAuth, cond.Value}
+					id, ok := b.memoIDs[mk]
+					if !ok {
+						id = int32(len(b.memoIDs))
+						b.memoIDs[mk] = id
+					}
+					cc.memo = id
+					a.compiled.fast.Add(1)
+				} else {
+					a.compiled.dynamic.Add(1)
+				}
+				cent.pre = append(cent.pre, cc)
+			}
+			ce.entries = append(ce.entries, cent)
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// constCond is a compiled condition with a fixed outcome.
+type constCond struct {
+	out Outcome
+}
+
+func (c constCond) EvalCompiled(*Request) Outcome { return c.out }
+
+// compileCond specializes one pre-condition, or returns nil to keep it
+// on the interpreted path. The eligibility rules guarantee the hoisted
+// test reproduces evaluateCondition exactly for trace-disabled
+// requests:
+//   - values carrying '@' resolve through the runtime value provider
+//     per request — dynamic;
+//   - an unregistered condition is the interpreter's constant
+//     "no evaluator registered" MAYBE (a later registration bumps the
+//     registry generation and recompiles);
+//   - only evaluators registered through the supervision layer whose
+//     inner evaluator opts in via CondCompiler compile; everything
+//     else — custom evaluators, stateful built-ins — stays dynamic.
+func (a *API) compileCond(cond eacl.Condition) CompiledCond {
+	if containsAt(cond.Value) {
+		return nil
+	}
+	ev, ok := a.reg.lookup(cond.Type, cond.DefAuth)
+	if !ok {
+		return constCond{out: UnevaluatedOutcome("no evaluator registered")}
+	}
+	sup, ok := ev.(supervised)
+	if !ok {
+		return nil
+	}
+	comp, ok := sup.inner.(CondCompiler)
+	if !ok {
+		return nil
+	}
+	fast, ok := comp.CompileCond(cond)
+	if !ok {
+		return nil
+	}
+	return fast
+}
+
+func containsAt(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '@' {
+			return true
+		}
+	}
+	return false
+}
+
+// compiledScratch is the per-request working set of a program run,
+// pooled inside evalState: the right-match bitsets and the fast-cond
+// memo table. Grown on demand, never shrunk, so steady state allocates
+// nothing.
+type compiledScratch struct {
+	authBits  []uint64
+	valBits   []uint64
+	entryBits []uint64
+	memoOut   []Outcome
+	memoSet   []bool
+}
+
+func (cs *compiledScratch) prepare(prog *compiledProgram) {
+	cs.authBits = growBits(cs.authBits, prog.nAuth)
+	cs.valBits = growBits(cs.valBits, prog.nValue)
+	cs.entryBits = growBits(cs.entryBits, len(prog.pairs))
+	clearBits(cs.entryBits)
+	if cap(cs.memoOut) < prog.nMemo {
+		cs.memoOut = make([]Outcome, prog.nMemo)
+		cs.memoSet = make([]bool, prog.nMemo)
+	}
+	cs.memoOut = cs.memoOut[:prog.nMemo]
+	cs.memoSet = cs.memoSet[:prog.nMemo]
+	for i := range cs.memoSet {
+		cs.memoSet[i] = false
+	}
+}
+
+// release drops outcome references so the pool doesn't pin request
+// strings across uses.
+func (cs *compiledScratch) release() {
+	for i := range cs.memoOut {
+		cs.memoOut[i] = Outcome{}
+	}
+}
+
+// matchRights walks each requested right through both tries and marks
+// the entries whose right covers it — the compiled replacement for the
+// per-entry entryMatches loop.
+func (cs *compiledScratch) matchRights(prog *compiledProgram, rights []eacl.Right) {
+	for _, r := range rights {
+		clearBits(cs.authBits)
+		clearBits(cs.valBits)
+		prog.auth.match(r.DefAuth, cs.authBits)
+		prog.value.match(r.Value, cs.valBits)
+		for bit := range prog.pairs {
+			pr := &prog.pairs[bit]
+			if bitGet(cs.authBits, pr.auth) && bitGet(cs.valBits, pr.value) {
+				cs.entryBits[bit>>6] |= 1 << (uint(bit) & 63)
+			}
+		}
+	}
+}
+
+// evalFast runs a hoisted test with the interpreter's panic
+// supervision: a panicking dependency (threat provider, group store)
+// degrades to the same FaultPanic outcome the supervised evaluator
+// would produce. Faulted outcomes are not memoized so every occurrence
+// surfaces its own fault, as interpretation would.
+func (a *API) evalFast(cs *compiledScratch, cc *compiledCond, req *Request) Outcome {
+	if cc.memo >= 0 && cs.memoSet[cc.memo] {
+		return cs.memoOut[cc.memo]
+	}
+	out := a.callFast(cc.fast, req)
+	if cc.memo >= 0 && out.Fault == FaultNone {
+		cs.memoOut[cc.memo] = out
+		cs.memoSet[cc.memo] = true
+	}
+	return out
+}
+
+func (a *API) callFast(fast CompiledCond, req *Request) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = a.recoverPanic(r)
+		}
+	}()
+	return fast.EvalCompiled(req)
+}
+
+// evaluatePolicyCompiled mirrors evaluatePolicy over the program.
+func (a *API) evaluatePolicyCompiled(ctx context.Context, prog *compiledProgram, req *Request, st *evalState) evalResult {
+	cs := &st.cs
+	cs.prepare(prog)
+	cs.matchRights(prog, req.Rights)
+
+	var sysAcc levelAccum
+	for i := range prog.system {
+		r := a.evaluateCompiledEACL(ctx, &prog.system[i], req, cs)
+		sysAcc.add(r)
+		if r.applicable && r.entry != nil {
+			st.deciders = append(st.deciders, decidingEntry{entry: r.entry, source: r.source})
+		}
+	}
+	sys := sysAcc.result()
+
+	var loc evalResult
+	loc.decision = Maybe
+	if !(prog.mode == eacl.ModeStop && prog.sysExists) {
+		var locAcc levelAccum
+		for i := range prog.local {
+			r := a.evaluateCompiledEACL(ctx, &prog.local[i], req, cs)
+			locAcc.add(r)
+			if r.applicable && r.entry != nil {
+				st.deciders = append(st.deciders, decidingEntry{entry: r.entry, source: r.source})
+			}
+		}
+		loc = locAcc.result()
+	}
+	res := composeLevels(prog.mode, sys, loc, prog.sysExists)
+	cs.release()
+	return res
+}
+
+// evaluateCompiledEACL is evaluateEACL over compiled entries: the same
+// first-match walk with identical No/Maybe/fault handling, minus the
+// trace bookkeeping (the engine only runs trace-disabled requests —
+// faults still trace, exactly as the interpreter does) and with right
+// matching answered by the precomputed entry bitset.
+func (a *API) evaluateCompiledEACL(ctx context.Context, ce *compiledEACL, req *Request, cs *compiledScratch) evalResult {
+	res := evalResult{source: ce.source}
+	for i := range ce.entries {
+		entry := &ce.entries[i]
+		if !bitGet(cs.entryBits, entry.bit) {
+			continue
+		}
+		var (
+			sawNo  bool
+			maybes []eacl.Condition
+		)
+		for ci := range entry.pre {
+			cc := &entry.pre[ci]
+			var out Outcome
+			if cc.fast != nil {
+				out = a.evalFast(cs, cc, req)
+			} else {
+				out = a.evaluateCondition(ctx, cc.cond, req)
+			}
+			if out.Fault != FaultNone {
+				res.faults = append(res.faults, Fault{Cond: cc.cond, Kind: out.Fault, Reason: out.faultReason()})
+				// Faults are traced even when tracing is off: a degraded
+				// evaluation must stay observable.
+				res.trace = append(res.trace, TraceEvent{
+					Source: ce.source, EntryLine: entry.entry.Line, Cond: cc.cond, Outcome: out,
+				})
+			}
+			switch out.Result {
+			case No:
+				if out.classOrDefault() == ClassSelector || !entry.pos {
+					sawNo = true
+				} else {
+					res.decision = No
+					res.applicable = true
+					res.entry = entry.entry
+					res.challenge = out.Challenge
+					return res
+				}
+			case Yes:
+				// condition met; continue within the entry
+			default: // Maybe, or an invalid decision degraded fail-safe
+				maybes = append(maybes, cc.cond)
+			}
+			if sawNo {
+				break
+			}
+		}
+		if sawNo {
+			continue
+		}
+		if len(maybes) > 0 {
+			res.decision = Maybe
+			res.applicable = true
+			res.entry = entry.entry
+			res.unevaluated = maybes
+			return res
+		}
+		res.applicable = true
+		res.entry = entry.entry
+		if entry.pos {
+			res.decision = Yes
+		} else {
+			res.decision = No
+		}
+		return res
+	}
+	res.decision = Maybe
+	return res
+}

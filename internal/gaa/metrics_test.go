@@ -138,6 +138,9 @@ func TestMetricsCacheCounters(t *testing.T) {
 // instrumentation enabled: a trace-disabled grant on a cached policy
 // through CheckAuthorizationInto still allocates nothing.
 func TestMetricsZeroAllocCachedGrant(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops 1 in 4 Puts under race; pooled paths allocate by design there")
+	}
 	reg := metrics.NewRegistry()
 	a := New(WithMetrics(reg), WithPolicyCache(16))
 	src := NewMemorySource()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gaa
+
+const raceEnabled = false

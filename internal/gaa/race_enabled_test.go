@@ -1,0 +1,10 @@
+//go:build race
+
+package gaa
+
+// raceEnabled reports whether the race detector is compiled in. The
+// exact-allocation tests skip under it: sync.Pool deliberately drops
+// 1 in 4 Puts on the floor in race builds, so every pooled hot path
+// allocates by design there. CI pins the alloc counts in a non-race
+// step of the compile-differential job.
+const raceEnabled = true

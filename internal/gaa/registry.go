@@ -38,6 +38,11 @@ type regKey struct {
 type registry struct {
 	mu    sync.Mutex // writers only
 	evals atomic.Pointer[map[regKey]Evaluator]
+	// gen counts registrations. Compiled decision programs record the
+	// generation they were built against and recompile on mismatch, so a
+	// late registration invalidates every program that resolved (or
+	// failed to resolve) an evaluator from the older map.
+	gen atomic.Uint64
 }
 
 func newRegistry() *registry {
@@ -57,6 +62,13 @@ func (r *registry) register(condType, defAuth string, ev Evaluator) {
 	}
 	next[regKey{condType, defAuth}] = ev
 	r.evals.Store(&next)
+	// Bump after publishing the map: a program stamped with the new
+	// generation is guaranteed to have compiled against the new map.
+	r.gen.Add(1)
+}
+
+func (r *registry) generation() uint64 {
+	return r.gen.Load()
 }
 
 func (r *registry) lookup(condType, defAuth string) (Evaluator, bool) {

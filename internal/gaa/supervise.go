@@ -148,18 +148,25 @@ func (s supervised) Evaluate(ctx context.Context, cond eacl.Condition, req *Requ
 func (s supervised) call(ctx context.Context, cond eacl.Condition, req *Request) (out Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.api.sup.panics.Add(1)
-			reason := fmt.Sprintf("evaluator panic: %v", r)
-			out = Outcome{
-				Result:      Maybe,
-				Unevaluated: true,
-				Fault:       FaultPanic,
-				Detail:      reason,
-				Err:         fmt.Errorf("%s", reason),
-			}
+			out = s.api.recoverPanic(r)
 		}
 	}()
 	return s.inner.Evaluate(ctx, cond, req)
+}
+
+// recoverPanic builds the supervised panic outcome; the compiled
+// engine's hoisted tests share it so a panicking dependency degrades
+// identically on both paths.
+func (a *API) recoverPanic(r any) Outcome {
+	a.sup.panics.Add(1)
+	reason := fmt.Sprintf("evaluator panic: %v", r)
+	return Outcome{
+		Result:      Maybe,
+		Unevaluated: true,
+		Fault:       FaultPanic,
+		Detail:      reason,
+		Err:         fmt.Errorf("%s", reason),
+	}
 }
 
 // evaluateDeadline runs the evaluator in a goroutine and cuts it off at
@@ -173,6 +180,11 @@ func (s supervised) evaluateDeadline(parent context.Context, cond eacl.Condition
 
 	reqCopy := new(Request)
 	*reqCopy = *req
+	// Deep-copy the slices too: servers pool the Params/Rights backing
+	// arrays per request, and an abandoned evaluator must not observe
+	// them being rewritten for the next request.
+	reqCopy.Params = append(ParamList(nil), req.Params...)
+	reqCopy.Rights = append([]eacl.Right(nil), req.Rights...)
 	ch := make(chan Outcome, 1)
 	go func() {
 		ch <- s.call(ctx, cond, reqCopy)

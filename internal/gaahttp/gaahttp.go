@@ -11,6 +11,7 @@ import (
 	"context"
 	"strconv"
 	"strings"
+	"sync"
 
 	"gaaapi/internal/audit"
 	"gaaapi/internal/eacl"
@@ -94,7 +95,12 @@ func New(cfg Config) *Guard {
 func ExtractParams(rec *httpd.RequestRec) gaa.ParamList {
 	// Capacity covers every fixed parameter plus the optional user, so
 	// the append below never reallocates.
-	ps := make(gaa.ParamList, 0, 9)
+	return appendParams(make(gaa.ParamList, 0, 9), rec)
+}
+
+// appendParams appends the record's parameters to ps; Check feeds it a
+// pooled backing array instead of allocating one per request.
+func appendParams(ps gaa.ParamList, rec *httpd.RequestRec) gaa.ParamList {
 	ps = append(ps, gaa.ParamList{
 		{Type: gaa.ParamClientIP, Authority: gaa.AuthorityAny, Value: rec.ClientIP},
 		{Type: gaa.ParamRequestURI, Authority: gaa.AuthorityAny, Value: rec.URI},
@@ -122,6 +128,18 @@ func (g *Guard) Rights(rec *httpd.RequestRec) []eacl.Right {
 	}}
 }
 
+// checkState is the pooled per-check working set: the request, the
+// answer (whose slices CheckAuthorizationInto reuses), and the backing
+// arrays for the rights and parameter lists.
+type checkState struct {
+	req    gaa.Request
+	ans    gaa.Answer
+	rights [1]eacl.Right
+	params [9]gaa.Param
+}
+
+var checkPool = sync.Pool{New: func() any { return new(checkState) }}
+
 // Check implements httpd.Guard: the access-control phase plus hooks
 // for the execution-control and post-execution phases.
 func (g *Guard) Check(rec *httpd.RequestRec) httpd.Verdict {
@@ -132,13 +150,20 @@ func (g *Guard) Check(rec *httpd.RequestRec) httpd.Verdict {
 		// Fail closed: a retrieval error must not grant access.
 		return httpd.Verdict{Status: httpd.Forbidden("policy retrieval: " + err.Error())}
 	}
-	req := &gaa.Request{
-		Rights: g.Rights(rec),
-		Params: ExtractParams(rec),
+	cs := checkPool.Get().(*checkState)
+	cs.rights[0] = eacl.Right{
+		Sign:    eacl.Pos,
+		DefAuth: g.cfg.Authority,
+		Value:   rec.Method + " " + rec.Path,
+	}
+	cs.req = gaa.Request{
+		Rights: cs.rights[:1],
+		Params: appendParams(cs.params[:0], rec),
 		Time:   rec.Time,
 	}
-	ans, err := g.cfg.API.CheckAuthorization(ctx, policy, req)
-	if err != nil {
+	req, ans := &cs.req, &cs.ans
+	if err := g.cfg.API.CheckAuthorizationInto(ctx, policy, req, ans); err != nil {
+		checkPool.Put(cs)
 		g.observe(true)
 		return httpd.Verdict{Status: httpd.Forbidden("authorization: " + err.Error())}
 	}
@@ -162,6 +187,12 @@ func (g *Guard) Check(rec *httpd.RequestRec) httpd.Verdict {
 			}
 			g.cfg.API.PostExecutionActions(ctx, ans, req, opStatus)
 		}
+	}
+	if verdict.Monitor == nil && verdict.Post == nil {
+		// The later phases hold no reference to the state; recycle it.
+		// (With hooks attached the state rides with the closures and is
+		// dropped to the GC when they are.)
+		checkPool.Put(cs)
 	}
 	return verdict
 }

@@ -44,7 +44,15 @@ type Authenticator interface {
 // authenticating Basic credentials against auth (nil auth rejects all
 // credentials).
 func NewRequestRec(r *http.Request, auth Authenticator, now time.Time) *RequestRec {
-	rec := &RequestRec{
+	rec := new(RequestRec)
+	fillRequestRec(rec, r, auth, now)
+	return rec
+}
+
+// fillRequestRec overwrites rec in place; the server fills pooled
+// records through it instead of allocating one per request.
+func fillRequestRec(rec *RequestRec, r *http.Request, auth Authenticator, now time.Time) {
+	*rec = RequestRec{
 		Time:        now,
 		Method:      r.Method,
 		Path:        r.URL.Path,
@@ -67,7 +75,6 @@ func NewRequestRec(r *http.Request, auth Authenticator, now time.Time) *RequestR
 			rec.AuthFailed = true
 		}
 	}
-	return rec
 }
 
 // Object returns the protected object the request addresses: the URL

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"gaaapi/internal/execctl"
@@ -95,10 +96,25 @@ func NewServer(cfg Config) *Server {
 	return &Server{cfg: cfg}
 }
 
+// recPool recycles request records: guards receive the record only
+// for the duration of the check-access phase and must not retain it.
+var recPool = sync.Pool{New: func() any { return new(RequestRec) }}
+
+// opScratch bundles the per-operation execution state so one pool hit
+// covers both the usage accounting and the response body buffer.
+type opScratch struct {
+	usage execctl.Usage
+	body  bytes.Buffer
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(opScratch) }}
+
 // ServeHTTP runs the three phases of the paper's integration: access
 // control, monitored execution, post-execution actions — then logs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rec := NewRequestRec(r, s.cfg.Auth, s.cfg.Clock())
+	rec := recPool.Get().(*RequestRec)
+	defer recPool.Put(rec)
+	fillRequestRec(rec, r, s.cfg.Auth, s.cfg.Clock())
 
 	// Simulated firewall: blocked sources are dropped before the
 	// access-control phase, like a connection-level rule.
@@ -139,8 +155,12 @@ func (s *Server) checkAccess(rec *RequestRec) Verdict {
 
 // execute performs the requested operation under execution control.
 func (s *Server) execute(ctx context.Context, w http.ResponseWriter, rec *RequestRec, verdict Verdict) {
-	usage := execctl.NewUsage(s.cfg.Clock)
-	var body bytes.Buffer
+	sc := scratchPool.Get().(*opScratch)
+	defer scratchPool.Put(sc)
+	sc.usage.Reset(s.cfg.Clock)
+	sc.body.Reset()
+	usage := &sc.usage
+	body := &sc.body
 
 	var op func(context.Context, *execctl.Usage) error
 	switch {
@@ -153,7 +173,7 @@ func (s *Server) execute(ctx context.Context, w http.ResponseWriter, rec *Reques
 			return
 		}
 		op = func(ctx context.Context, u *execctl.Usage) error {
-			cw := &countingWriter{w: &body, usage: u}
+			cw := &countingWriter{w: body, usage: u}
 			return script(ctx, &CGIContext{Rec: rec, Usage: u, Out: cw})
 		}
 	default:
