@@ -146,8 +146,14 @@ func TestSeededFixturesTriggerTheirRule(t *testing.T) {
 		{"empty-window.eacl", []string{"E004"}},
 		{"threat-contradiction.eacl", []string{"E012"}},
 		{"conflict.eacl", []string{"W004"}},
-		{"unreachable.eacl", []string{"W003"}},
-		{"subsumed.eacl", []string{"W007"}},
+		// The prover independently confirms the flow rules' shadowing
+		// findings: W003/W007 are pattern claims, W022 is a model-checked
+		// "no request reaches this entry" over the full world grid.
+		{"unreachable.eacl", []string{"W003", "W022"}},
+		{"subsumed.eacl", []string{"W007", "W022"}},
+		// Prover-only: the first two entries partition the threat scale,
+		// so entry 3 is dead in a way no pattern rule can establish.
+		{"prover-dead.eacl", []string{"W022"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.file, func(t *testing.T) {
@@ -180,6 +186,9 @@ func TestSeededCompositionFixtures(t *testing.T) {
 		{"stop", "W020"},
 		{"expand", "W021"},
 		{"narrow", "E020"},
+		// Prover-backed: an intranet allow scanned before the
+		// authentication guard hands admin rights to anonymous clients.
+		{"anon", "W023"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.prefix, func(t *testing.T) {

@@ -21,13 +21,27 @@
 //	eaclint -explain "GET /cgi-bin/phf" -param request_uri="GET /cgi-bin/phf" policy.eacl
 //	eaclint -hash /etc/passwd             # sha256 for post_cond_file_sha256
 //
+// The whole-policy reasoning engine (internal/eacl/reason) answers
+// global reachability questions with concrete witness requests, each
+// replayed through the interpreted and compiled evaluators:
+//
+//	eaclint -query 'who-can(apache, GET /cgi-bin/*, high)' policy.eacl
+//	eaclint -prove no-anonymous-yes -system sys.eacl -local loc.eacl
+//	eaclint -prove no-dead-entries -value max_input=1000 policy.eacl
+//
+// With -system/-local the queries run over the composed policy set;
+// otherwise each positional file is analyzed as a stand-alone local
+// policy. Query and proof results are always JSON.
+//
 // Exit codes are vet-style: 0 when no error-severity findings were
-// reported, 1 when at least one file failed to parse or an error
-// finding fired, 2 on usage errors.
+// reported and every requested proof was discharged, 1 when at least
+// one file failed to parse, an error finding fired, or a proof came
+// back refuted or unknown, 2 on usage errors.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +52,7 @@ import (
 	gaaconfig "gaaapi/internal/config"
 	"gaaapi/internal/eacl"
 	"gaaapi/internal/eacl/analysis"
+	"gaaapi/internal/eacl/reason"
 	"gaaapi/internal/gaa"
 	"gaaapi/internal/groups"
 	"gaaapi/internal/ids"
@@ -75,10 +90,16 @@ func run(args []string, out io.Writer) (int, error) {
 		params   multiFlag
 		systems  multiFlag
 		locals   multiFlag
+		queries  multiFlag
+		proves   multiFlag
+		values   multiFlag
 	)
 	fs.Var(&params, "param", "request parameter type=value for -explain (repeatable)")
 	fs.Var(&systems, "system", "system-level EACL file for composition analysis (repeatable)")
 	fs.Var(&locals, "local", "local-level EACL file for composition analysis (repeatable)")
+	fs.Var(&queries, "query", "reasoning query, e.g. 'who-can(apache, GET /*, high)' (repeatable)")
+	fs.Var(&proves, "prove", "property to prove: no-anonymous-yes or no-dead-entries (repeatable)")
+	fs.Var(&values, "value", "runtime value name=value resolving '@name' references during reasoning (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -145,7 +166,7 @@ func run(args []string, out io.Writer) (int, error) {
 		path string
 		e    *eacl.EACL
 	}
-	var files []parsed
+	var files, positional []parsed
 	var sysEACLs, locEACLs []*eacl.EACL
 	load := func(path string) *eacl.EACL {
 		e, err := eacl.ParseFile(path)
@@ -158,7 +179,9 @@ func run(args []string, out io.Writer) (int, error) {
 		return e
 	}
 	for _, path := range fs.Args() {
-		load(path)
+		if e := load(path); e != nil {
+			positional = append(positional, parsed{path, e})
+		}
 	}
 	for _, path := range systems {
 		if e := load(path); e != nil {
@@ -176,6 +199,22 @@ func run(args []string, out io.Writer) (int, error) {
 			fmt.Fprint(out, f.e.String())
 		}
 		return exit, nil
+	}
+
+	if len(queries) > 0 || len(proves) > 0 {
+		if exit != 0 {
+			return exit, nil // parse failures already reported
+		}
+		// -system/-local files form one composed target; each positional
+		// file is reasoned about as a stand-alone local policy.
+		var targets []reasonTarget
+		if len(sysEACLs) > 0 || len(locEACLs) > 0 {
+			targets = append(targets, reasonTarget{name: "composition", system: sysEACLs, local: locEACLs})
+		}
+		for _, f := range positional {
+			targets = append(targets, reasonTarget{name: f.path, local: []*eacl.EACL{f.e}})
+		}
+		return runReason(out, queries, proves, values, targets)
 	}
 
 	var diags []analysis.Diagnostic
@@ -252,12 +291,93 @@ func explainPolicy(out io.Writer, api *gaa.API, e *eacl.EACL, right string, para
 }
 
 // registerActionStubs marks the action vocabulary as known without
-// wiring real side effects — lint-time evaluation must stay pure.
+// wiring real side effects — lint-time evaluation must stay pure. The
+// list is shared with the reasoning engine so -query/-prove and plain
+// lint agree on what "registered" means.
 func registerActionStubs(api *gaa.API) {
-	for _, name := range []string{"notify", "update_log", "audit", "set_threat_level", "block_ip", "count"} {
+	for _, name := range reason.ActionStubNames {
 		api.RegisterFunc(name, gaa.AuthorityAny,
 			func(context.Context, eacl.Condition, *gaa.Request) gaa.Outcome {
 				return gaa.MetOutcome(gaa.ClassAction, "stubbed for lint")
 			})
 	}
+}
+
+// reasonTarget is one policy set the reasoning engine runs over.
+type reasonTarget struct {
+	name   string
+	system []*eacl.EACL
+	local  []*eacl.EACL
+}
+
+// reasonReport is the JSON document emitted per target.
+type reasonReport struct {
+	Target    string                `json:"target"`
+	Worlds    int                   `json:"worlds"`
+	Truncated bool                  `json:"truncated,omitempty"`
+	Queries   []*reason.QueryResult `json:"queries,omitempty"`
+	Proofs    []*reason.ProofResult `json:"proofs,omitempty"`
+}
+
+// runReason drives -query/-prove: build one engine per target, answer
+// every query, discharge every proof. Exit 1 when a proof is not
+// proved; an abstract/concrete replay disagreement is an engine bug and
+// exits 2.
+func runReason(out io.Writer, queries, proves, values multiFlag, targets []reasonTarget) (int, error) {
+	var qs []*reason.Query
+	for _, s := range queries {
+		q, err := reason.ParseQuery(s)
+		if err != nil {
+			return 2, err
+		}
+		qs = append(qs, q)
+	}
+	opts := reason.Options{Values: map[string]string{}}
+	for _, v := range values {
+		name, val, ok := strings.Cut(v, "=")
+		if !ok {
+			return 2, fmt.Errorf("bad -value %q, want name=value", v)
+		}
+		opts.Values[name] = val
+	}
+	for _, q := range qs {
+		opts.ExtraRights = append(opts.ExtraRights, q.ExtraRights()...)
+		if q.NeedsSystemOnly() {
+			opts.SystemOnly = true
+		}
+	}
+
+	exit := 0
+	var reports []reasonReport
+	for _, tgt := range targets {
+		eng, err := reason.New(tgt.system, tgt.local, opts)
+		if err != nil {
+			return 2, err
+		}
+		rep := reasonReport{Target: tgt.name, Worlds: eng.Worlds(), Truncated: eng.Truncated()}
+		for _, q := range qs {
+			res, err := eng.Answer(q)
+			if err != nil {
+				return 2, err
+			}
+			rep.Queries = append(rep.Queries, res)
+		}
+		for _, p := range proves {
+			res, err := eng.Prove(p)
+			if err != nil {
+				return 2, err
+			}
+			if res.Result != reason.Proved {
+				exit = 1
+			}
+			rep.Proofs = append(rep.Proofs, res)
+		}
+		reports = append(reports, rep)
+	}
+	doc, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "%s\n", doc)
+	return exit, nil
 }

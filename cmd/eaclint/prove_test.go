@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// End-to-end coverage of the -query/-prove/-value reasoning surface:
+// exit codes, JSON report shape, and the shipped paper compositions as
+// golden targets (7.1 proves clean; 7.2 with a runtime max_input value
+// is refuted by an anonymous witness, matching the paper's scenario).
+
+// reasonRun invokes the CLI and decodes the JSON report array.
+func reasonRun(t *testing.T, args ...string) (int, []reasonReport, string) {
+	t.Helper()
+	var out strings.Builder
+	code, err := run(args, &out)
+	if err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	var reports []reasonReport
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out.String())
+	}
+	return code, reports, out.String()
+}
+
+func TestProveShipped71(t *testing.T) {
+	code, reports, raw := reasonRun(t,
+		"-prove", "no-anonymous-yes", "-prove", "no-dead-entries",
+		"-system", "../../policies/paper/system-7.1.eacl",
+		"-local", "../../policies/paper/local-7.1.eacl")
+	if code != 0 {
+		t.Fatalf("code = %d, want 0\n%s", code, raw)
+	}
+	if len(reports) != 1 || reports[0].Target != "composition" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if len(reports[0].Proofs) != 2 {
+		t.Fatalf("proofs = %+v", reports[0].Proofs)
+	}
+	for _, p := range reports[0].Proofs {
+		if p.Result != "proved" {
+			t.Errorf("%s: result = %q, want proved (%s)", p.Prove, p.Result, p.Reason)
+		}
+	}
+}
+
+func TestProveShipped72RefutedWithValue(t *testing.T) {
+	code, reports, raw := reasonRun(t,
+		"-prove", "no-anonymous-yes",
+		"-value", "max_input=1000",
+		"-system", "../../policies/paper/system-7.2.eacl",
+		"-local", "../../policies/paper/local-7.2.eacl")
+	if code != 1 {
+		t.Fatalf("code = %d, want 1 (refuted)\n%s", code, raw)
+	}
+	p := reports[0].Proofs[0]
+	if p.Result != "refuted" {
+		t.Fatalf("result = %q, want refuted", p.Result)
+	}
+	if len(p.Witnesses) == 0 {
+		t.Fatal("refutation without witnesses")
+	}
+	w := p.Witnesses[0]
+	if w.User != "" || w.Decision != "yes" {
+		t.Errorf("witness = %+v, want anonymous yes", w)
+	}
+}
+
+func TestQueryWhoCanShipped71(t *testing.T) {
+	code, reports, raw := reasonRun(t,
+		"-query", "who-can(apache, *, medium)",
+		"-system", "../../policies/paper/system-7.1.eacl",
+		"-local", "../../policies/paper/local-7.1.eacl")
+	if code != 0 {
+		t.Fatalf("code = %d, want 0\n%s", code, raw)
+	}
+	q := reports[0].Queries[0]
+	if !q.Satisfiable || len(q.Principals) != 1 || q.Principals[0] != "user" {
+		t.Fatalf("who-can = %+v, want principals [user]", q)
+	}
+	if len(q.Witnesses) == 0 || q.Witnesses[0].Threat != "medium" {
+		t.Fatalf("witnesses = %+v, want a medium-threat witness", q.Witnesses)
+	}
+}
+
+func TestQueryPositionalFile(t *testing.T) {
+	open := writePolicy(t, "pos_access_right apache *\n")
+	code, reports, raw := reasonRun(t,
+		"-query", "who-can(apache, GET /*)", "-prove", "no-anonymous-yes", open)
+	if code != 1 {
+		t.Fatalf("code = %d, want 1 (open grant refutes)\n%s", code, raw)
+	}
+	if reports[0].Target != open {
+		t.Errorf("target = %q, want %q", reports[0].Target, open)
+	}
+	q := reports[0].Queries[0]
+	if !q.Satisfiable {
+		t.Errorf("who-can unsatisfiable on an open grant: %+v", q)
+	}
+	if got := reports[0].Proofs[0].Result; got != "refuted" {
+		t.Errorf("no-anonymous-yes = %q, want refuted", got)
+	}
+}
+
+func TestReasonUsageErrors(t *testing.T) {
+	clean := writePolicy(t, "pos_access_right apache *\n")
+	var out strings.Builder
+	if code, err := run([]string{"-query", "who-can(apache)", clean}, &out); err == nil || code != 2 {
+		t.Errorf("bad query: code=%d err=%v", code, err)
+	}
+	out.Reset()
+	if code, err := run([]string{"-prove", "nonsense", clean}, &out); err == nil || code != 2 {
+		t.Errorf("bad proof name: code=%d err=%v", code, err)
+	}
+	out.Reset()
+	if code, err := run([]string{"-prove", "no-dead-entries", "-value", "max_input", clean}, &out); err == nil || code != 2 {
+		t.Errorf("bad -value: code=%d err=%v", code, err)
+	}
+}
+
+func TestReasonParseFailureSkipsReasoning(t *testing.T) {
+	bad := writePolicy(t, "this is not an eacl line\n")
+	var out strings.Builder
+	code, err := run([]string{"-prove", "no-dead-entries", bad}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if strings.Contains(out.String(), "proofs") {
+		t.Errorf("reasoning ran despite a parse failure:\n%s", out.String())
+	}
+}

@@ -179,6 +179,20 @@ func ValidateThresholdSpec(value string) error {
 	return nil
 }
 
+// SplitComparison exposes the evaluators' comparison parser: it splits
+// "input_length>1000" into the left operand (possibly empty), the
+// comparator token and the right operand, exactly as exprEvaluator,
+// quotaEvaluator and threatEvaluator do. The static reasoner
+// (internal/eacl/reason) uses it to derive boundary candidates for its
+// abstract domain from the policy's own bounds.
+func SplitComparison(value string) (left, op, right string, err error) {
+	l, o, r, err := splitCmp(value)
+	if err != nil {
+		return "", "", "", err
+	}
+	return l, o.String(), r, nil
+}
+
 // ValidateComparison checks a pre_cond_expr or mid_cond_quota value: a
 // parameter name, a comparator and an integer bound ("input_length>1000").
 func ValidateComparison(value string) error {

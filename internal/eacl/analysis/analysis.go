@@ -314,5 +314,8 @@ func allRules() []Rule {
 		stopDeadLocalRule{},
 		expandBypassRule{},
 		narrowDeadGrantRule{},
+		// Layer 4: prover-backed reachability (W022, W023).
+		proverDeadEntryRule{},
+		proverAnonGrantRule{},
 	}
 }

@@ -196,6 +196,21 @@ pre_cond_time_window local 09:00-17:00
 	}
 }
 
+// "?*" and "?**" spell the same glob language ('?' is a literal byte,
+// the extra '*' adds nothing), so the analyzer must flag them as
+// duplicates even though the byte strings differ.
+func TestDuplicateEntrySemanticGlobs(t *testing.T) {
+	ds := analyze(t, `
+pos_access_right apache GET /report?*
+pre_cond_time_window local 09:00-17:00
+pos_access_right apache GET /report?**
+pre_cond_time_window local 09:00-17:00
+`)
+	if !hasCode(ds, "W002") {
+		t.Errorf("want W002 for equivalent glob spellings, got %v", ds)
+	}
+}
+
 func TestUnreachableGlobAware(t *testing.T) {
 	ds := analyze(t, `
 pos_access_right apache GET /cgi-bin/*

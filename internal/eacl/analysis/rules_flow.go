@@ -210,14 +210,18 @@ type duplicateEntryRule struct{}
 func (duplicateEntryRule) Meta() Meta { return metaDuplicateEntry }
 
 func (duplicateEntryRule) CheckFile(f *File, r *Reporter) {
-	seen := make(map[string]int, len(f.EACL.Entries))
 	for i := range f.EACL.Entries {
 		en := &f.EACL.Entries[i]
-		key := entryKey(en)
-		if prev, dup := seen[key]; dup {
-			r.Report(f.EACL.Source, en.Line, "duplicate of entry at line %d", prev)
-		} else {
-			seen[key] = en.Line
+		for j := 0; j < i; j++ {
+			prev := &f.EACL.Entries[j]
+			if !eacl.RightsEquivalent(prev.Right, en.Right) {
+				continue
+			}
+			if condKey(prev) != condKey(en) {
+				continue
+			}
+			r.Report(f.EACL.Source, en.Line, "duplicate of entry at line %d", prev.Line)
+			break
 		}
 	}
 }
@@ -392,10 +396,12 @@ func subsetOf(conds []eacl.Condition, set map[string]bool) bool {
 	return true
 }
 
-// entryKey mirrors eacl.Validate's duplicate key: the right plus the
-// conditions in source order.
-func entryKey(en *eacl.Entry) string {
-	key := en.Right.String()
+// condKey mirrors eacl.Validate's duplicate comparison: the conditions
+// in source order, lines normalized. The right is compared separately
+// with eacl.RightsEquivalent so semantically equal glob spellings
+// ("GET /a?*" vs "GET /a?**") still count as duplicates.
+func condKey(en *eacl.Entry) string {
+	var key string
 	for _, c := range en.Conditions {
 		canon := c
 		canon.Line = 0

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"gaaapi/internal/eacl"
+	"gaaapi/internal/eacl/reason"
+)
+
+// Layer 4: prover-backed rules. These run the whole-policy reasoning
+// engine (internal/eacl/reason) instead of pattern matching: the engine
+// enumerates a finite world grid synthesized from the policy text,
+// replays every world through the real evaluator, and the rules read
+// reachability facts off the fixpoint. They therefore see through
+// condition semantics the flow rules (W003/W007) cannot — a threat
+// selector that excludes every level, a time window nothing satisfies,
+// overlapping guards that jointly shadow an entry.
+//
+// Soundness discipline: the prover stays silent whenever its claim
+// could be incomplete — a truncated domain, an "re:" regex it cannot
+// synthesize witnesses for, or an earlier entry stuck at MAYBE that a
+// resolved runtime value could unblock.
+
+// proverMaxWorlds bounds lint-time prover cost; past it the domain is
+// truncated and the prover rules stay silent.
+const proverMaxWorlds = 8000
+
+var (
+	metaProverDeadEntry = Meta{
+		Code: "W022", Name: "prover-dead-entry", Severity: SeverityWarning,
+		Summary: "the prover found no request, at any threat level, that this entry decides: earlier entries always decide first or its own guards are unsatisfiable",
+		Example: "pos_access_right apache *\npos_access_right apache GET /x",
+		Fix:     "reorder the entries, narrow the earlier entries' rights, or delete the dead entry",
+	}
+	metaProverAnonGrant = Meta{
+		Code: "W023", Name: "prover-anonymous-grant", Severity: SeverityWarning,
+		Summary: "an unauthenticated client can obtain this right even though another entry guards an overlapping right with pre_cond_accessid_USER",
+		Example: "pos_access_right apache GET /admin/*\npre_cond_accessid_USER apache *\npos_access_right apache *",
+		Fix:     "add pre_cond_accessid_USER to the granting entry, or order the authenticated entry after a narrower anonymous grant",
+	}
+)
+
+// proverDeadEntryRule (W022) runs the reasoning engine over one file as
+// a stand-alone local policy and reports entries that decide in no
+// world. The engine's DeadEntries accessor already applies the
+// soundness suppressions (truncation, re: regexes, MAYBE-blocked
+// scans).
+type proverDeadEntryRule struct{}
+
+func (proverDeadEntryRule) Meta() Meta { return metaProverDeadEntry }
+
+func (proverDeadEntryRule) CheckFile(f *File, r *Reporter) {
+	if len(f.EACL.Entries) < 2 {
+		return // a sole entry is dead only if unsatisfiable; leave that to E-rules
+	}
+	eng, err := reason.New(nil, []*eacl.EACL{f.EACL}, reason.Options{MaxWorlds: proverMaxWorlds})
+	if err != nil {
+		return // abstract/concrete disagreement: a prover bug, not a policy finding
+	}
+	for _, d := range eng.DeadEntries() {
+		r.Report(d.Source, d.Line,
+			"prover: no request at any threat level reaches this entry; every world is decided earlier in the scan")
+	}
+}
+
+// proverAnonGrantRule (W023) runs the reasoning engine over the full
+// composition and reports grants reachable anonymously when the policy
+// set elsewhere demands authentication for an overlapping right — the
+// signature of a forgotten pre_cond_accessid_USER.
+type proverAnonGrantRule struct{}
+
+func (proverAnonGrantRule) Meta() Meta { return metaProverAnonGrant }
+
+func (proverAnonGrantRule) CheckComposition(c *Composition, r *Reporter) {
+	eng, err := reason.New(c.System, c.Local, reason.Options{MaxWorlds: proverMaxWorlds})
+	if err != nil {
+		return
+	}
+	all := append(append([]*eacl.EACL{}, c.System...), c.Local...)
+	for _, g := range eng.AnonymousGrants() {
+		guard := findUserGuard(all, g.Right)
+		if guard == nil {
+			continue // anonymity is policy intent when nothing demands authentication
+		}
+		r.Report(g.Source, g.Line,
+			"prover: %q is obtainable anonymously (e.g. client %s requesting %q), but %s:%d guards an overlapping right with pre_cond_accessid_USER",
+			g.Right.DefAuth+" "+g.Right.Value, g.Witness.ClientIP, g.Witness.RequestURI,
+			guard.source, guard.line)
+	}
+}
+
+type guardRef struct {
+	source string
+	line   int
+}
+
+// findUserGuard returns an entry whose right pattern matches the
+// granted right and whose pre block requires accessid_USER.
+func findUserGuard(eacls []*eacl.EACL, granted eacl.Right) *guardRef {
+	for _, e := range eacls {
+		for i := range e.Entries {
+			en := &e.Entries[i]
+			if !eacl.MatchRight(en.Right, granted) {
+				continue
+			}
+			for _, cond := range en.Conditions {
+				if cond.Block == eacl.BlockPre && cond.Type == "accessid_USER" {
+					return &guardRef{source: e.Source, line: en.Line}
+				}
+			}
+		}
+	}
+	return nil
+}

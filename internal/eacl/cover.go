@@ -81,6 +81,14 @@ func GlobsOverlap(a, b string) bool {
 	return next[0]
 }
 
+// GlobsEquivalent reports whether two patterns match exactly the same
+// strings — language equality, decided as mutual inclusion. Literal
+// bytes other than '*' (including '?') must agree; "GET /a?*" and
+// "GET /a?**" are equivalent, "GET /a?" and "GET /ab" are not.
+func GlobsEquivalent(a, b string) bool {
+	return GlobCovers(a, b) && GlobCovers(b, a)
+}
+
 // RightCovers reports whether every right matched by inner's patterns
 // is also matched by outer's — per-component glob inclusion over the
 // defining authority and the value. Signs are ignored, as in
@@ -96,4 +104,15 @@ func RightCovers(outer, inner Right) bool {
 func RightsOverlap(a, b Right) bool {
 	return GlobsOverlap(a.DefAuth, b.DefAuth) &&
 		GlobsOverlap(a.Value, b.Value)
+}
+
+// RightsEquivalent reports whether two rights match exactly the same
+// requested rights AND carry the same sign: per-component language
+// equality over the defining authority and the value. Unlike the other
+// predicates the sign participates, because equivalence is used to
+// decide whether one entry can stand in for another.
+func RightsEquivalent(a, b Right) bool {
+	return a.Sign == b.Sign &&
+		GlobsEquivalent(a.DefAuth, b.DefAuth) &&
+		GlobsEquivalent(a.Value, b.Value)
 }

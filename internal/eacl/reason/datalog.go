@@ -1,0 +1,95 @@
+package reason
+
+// A tiny datalog core: relations over fixed-width integer tuples and
+// linear rules evaluated bottom-up with semi-naive iteration. The
+// policy translation (program.go) only needs linear recursion — the
+// scan position of the first-match evaluator advances one entry at a
+// time — so every rule has exactly one recursive body literal; the
+// remaining literals are extensional and looked up inside the rule
+// body. Semi-naive evaluation is then exact: each round fires rules
+// only on the tuples derived in the previous round (the delta), never
+// re-deriving from the full relation.
+
+// tuple is one fact. Unused trailing columns are zero; the relation's
+// arity decides how many columns are significant.
+type tuple [5]int32
+
+// relation is a named set of tuples with the semi-naive bookkeeping:
+// facts holds everything derived so far, delta the tuples derived in
+// the current round, next the tuples derived by rules firing this
+// round (the next delta).
+type relation struct {
+	name  string
+	facts map[tuple]struct{}
+	delta []tuple
+	next  []tuple
+}
+
+func newRelation(name string) *relation {
+	return &relation{name: name, facts: make(map[tuple]struct{})}
+}
+
+// insert adds a fact; new facts join the next delta.
+func (r *relation) insert(t tuple) {
+	if _, ok := r.facts[t]; ok {
+		return
+	}
+	r.facts[t] = struct{}{}
+	r.next = append(r.next, t)
+}
+
+// has reports membership (extensional lookups inside rule bodies).
+func (r *relation) has(t tuple) bool {
+	_, ok := r.facts[t]
+	return ok
+}
+
+// rule fires once per delta tuple of its body relation; emit inserts
+// derived head facts.
+type rule struct {
+	body *relation
+	fire func(t tuple, emit func(*relation, tuple))
+}
+
+// program is a set of relations and linear rules.
+type program struct {
+	rels  []*relation
+	rules []rule
+}
+
+func (p *program) relation(name string) *relation {
+	r := newRelation(name)
+	p.rels = append(p.rels, r)
+	return r
+}
+
+func (p *program) rule(body *relation, fire func(t tuple, emit func(*relation, tuple))) {
+	p.rules = append(p.rules, rule{body: body, fire: fire})
+}
+
+// run iterates to fixpoint. Seed facts must have been inserted before
+// the call (they form the first delta).
+func (p *program) run() {
+	emit := func(r *relation, t tuple) { r.insert(t) }
+	// Promote the initial inserts into deltas.
+	for _, r := range p.rels {
+		r.delta, r.next = r.next, nil
+	}
+	for {
+		fired := false
+		for _, rl := range p.rules {
+			for _, t := range rl.body.delta {
+				rl.fire(t, emit)
+			}
+		}
+		for _, r := range p.rels {
+			r.delta, r.next = r.next, nil
+			if len(r.delta) > 0 {
+				fired = true
+			}
+		}
+		if !fired {
+			return
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package reason
+
+import "testing"
+
+// A 10-node chain: edge(i, i+1) EDB, path(0) seed, and the linear rule
+// path(i) ∧ edge(i, j) → path(j). The fixpoint must reach every node in
+// exactly one derivation each (semi-naive: no refiring on old deltas).
+func TestDatalogChainReachability(t *testing.T) {
+	p := &program{}
+	edge := p.relation("edge")
+	path := p.relation("path")
+	for i := int32(0); i < 9; i++ {
+		edge.insert(tuple{i, i + 1})
+	}
+	fired := 0
+	p.rule(path, func(tt tuple, emit func(*relation, tuple)) {
+		fired++
+		for j := int32(0); j < 10; j++ {
+			if edge.has(tuple{tt[0], j}) {
+				emit(path, tuple{j})
+			}
+		}
+	})
+	path.insert(tuple{0})
+	p.run()
+	for i := int32(0); i < 10; i++ {
+		if !path.has(tuple{i}) {
+			t.Errorf("path(%d) not derived", i)
+		}
+	}
+	if fired != 10 {
+		t.Errorf("rule fired %d times, want 10 (once per delta tuple)", fired)
+	}
+}
+
+func TestRelationInsertDedups(t *testing.T) {
+	r := newRelation("r")
+	r.insert(tuple{1, 2})
+	r.insert(tuple{1, 2})
+	if len(r.next) != 1 {
+		t.Errorf("duplicate insert reached the delta: next = %v", r.next)
+	}
+}

@@ -1,0 +1,195 @@
+package reason
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gaaapi/internal/conditions"
+	"gaaapi/internal/eacl"
+)
+
+// Honest-degradation contract: whenever the world grid cannot cover
+// the policy (truncation, no clean URI, ambient state), universal
+// claims downgrade to unknown and positive evidence is withheld.
+
+func TestTruncatedWorldsDegradeProofs(t *testing.T) {
+	local := mustEACL(t, `
+pos_access_right apache GET /a/*
+pre_cond_accessid_GROUP local g1
+pre_cond_accessid_GROUP local g2
+pre_cond_accessid_GROUP local g3
+pos_access_right apache GET /b/*
+pre_cond_accessid_USER apache *
+`)
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{MaxWorlds: 4})
+	if !e.Truncated() {
+		t.Fatal("MaxWorlds=4 did not truncate")
+	}
+	if got := e.DeadEntries(); got != nil {
+		t.Errorf("DeadEntries on a truncated domain = %v, want nil", got)
+	}
+	for _, name := range ProofNames {
+		res := mustProve(t, e, name)
+		if res.Result != Unknown {
+			t.Errorf("%s on a truncated domain = %s, want unknown", name, res.Result)
+		}
+		if !strings.Contains(res.Reason, "incomplete domain") {
+			t.Errorf("%s reason = %q", name, res.Reason)
+		}
+	}
+	if res := mustAnswer(t, e, "who-can(apache, *)"); !res.Truncated {
+		t.Error("query result does not carry the truncation flag")
+	}
+}
+
+func TestNoCleanURIDegradesProofs(t *testing.T) {
+	// A catch-all regex pattern leaves no candidate URI that dodges
+	// every pattern, so "entry 2 is never reached" cannot be trusted.
+	local := mustEACL(t, `
+neg_access_right apache *
+pre_cond_regex gnu *
+pre_cond_regex gnu re:[unclosed
+pos_access_right apache GET /pub/*
+`)
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	if !e.dom.noCleanURI {
+		t.Fatal("catch-all pattern did not set noCleanURI")
+	}
+	if got := e.DeadEntries(); got != nil {
+		t.Errorf("DeadEntries without a clean URI = %v, want nil", got)
+	}
+	if res := mustProve(t, e, "no-dead-entries"); res.Result != Unknown {
+		t.Errorf("no-dead-entries = %s, want unknown", res.Result)
+	}
+}
+
+func TestInexactWorldMakesAnonymousYesUnknown(t *testing.T) {
+	// A grant guarded by a file hash that matches real disk state: the
+	// anonymous YES exists but rests on ambient state the model cannot
+	// pin, so the proof refuses to call it a refutation.
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, []byte("content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := conditions.HashFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := mustEACL(t, "pos_access_right apache *\npre_cond_file_sha256 local "+path+" "+digest+"\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	res := mustProve(t, e, "no-anonymous-yes")
+	if res.Result != Unknown {
+		t.Fatalf("result = %s, want unknown", res.Result)
+	}
+	if !strings.Contains(res.Reason, "ambient state") {
+		t.Errorf("reason = %q", res.Reason)
+	}
+	// Inexact worlds are never positive evidence.
+	if q := mustAnswer(t, e, "who-can(apache, *)"); q.Satisfiable {
+		t.Errorf("who-can satisfiable from an inexact world: %+v", q)
+	}
+}
+
+func TestAnonymousGrantsAccessor(t *testing.T) {
+	local := mustEACL(t, "pos_access_right apache GET /pub/*\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	grants := e.AnonymousGrants()
+	if len(grants) == 0 {
+		t.Fatal("open grant yields no anonymous grants")
+	}
+	g := grants[0]
+	if g.Line != 1 || g.Witness.User != "" || g.Witness.Decision != "yes" {
+		t.Errorf("grant = %+v", g)
+	}
+	if !eacl.MatchRight(eacl.Right{Sign: eacl.Pos, DefAuth: "apache", Value: "GET /pub/*"}, g.Right) {
+		t.Errorf("granted right %v not covered by the entry pattern", g.Right)
+	}
+}
+
+func TestUnresolvedValueRefStaysMaybe(t *testing.T) {
+	// An @ref with no runtime value leaves the condition MAYBE, so the
+	// grant is never a YES — and never a dead entry either.
+	local := mustEACL(t, `
+pos_access_right apache *
+pre_cond_expr local input_length>@missing
+`)
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	if q := mustAnswer(t, e, "who-can(apache, *)"); q.Satisfiable {
+		t.Errorf("unresolvable reference produced a YES: %+v", q)
+	}
+	if got := e.DeadEntries(); got != nil {
+		t.Errorf("MAYBE-only entry reported dead: %v", got)
+	}
+}
+
+func TestExpandModeDisjoins(t *testing.T) {
+	sys := mustEACL(t, "eacl_mode expand\nneg_access_right apache GET /admin/*\n")
+	loc := mustEACL(t, "pos_access_right apache *\n")
+	e := mustEngine(t, []*eacl.EACL{sys}, []*eacl.EACL{loc}, Options{SystemOnly: true})
+	// Under expand the local grant overrides the system denial.
+	q, err := ParseQuery("who-can(apache, GET /admin/*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("expand-mode local grant did not override the system denial")
+	}
+	if d := mustAnswer(t, e, "grant-differs()"); !d.Satisfiable {
+		t.Error("grant-differs unsatisfiable despite the override")
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	who, err := ParseQuery("who-can(apache, GET /x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := who.ExtraRights(); len(rs) != 1 || rs[0].Value != "GET /x" {
+		t.Errorf("ExtraRights = %v", rs)
+	}
+	if who.NeedsSystemOnly() {
+		t.Error("who-can should not need the system-only projection")
+	}
+	gd, err := ParseQuery("grant-differs()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gd.ExtraRights()) != 0 || !gd.NeedsSystemOnly() {
+		t.Error("grant-differs accessors wrong")
+	}
+}
+
+func TestDescribeWorld(t *testing.T) {
+	local := mustEACL(t, "pos_access_right apache *\npre_cond_accessid_GROUP local admins\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	if e.Worlds() == 0 {
+		t.Fatal("no worlds")
+	}
+	s := describeWorld(e.dom, &e.results[0].w)
+	if !strings.Contains(s, "right=apache") || !strings.Contains(s, "threat=") {
+		t.Errorf("describeWorld = %q", s)
+	}
+	var anon, member string
+	for i := range e.results {
+		w := &e.results[i].w
+		d := describeWorld(e.dom, w)
+		if w.user == "" {
+			anon = d
+		}
+		if len(w.member) > 0 && w.member[0] {
+			member = d
+		}
+	}
+	if !strings.Contains(anon, "<anonymous>") {
+		t.Errorf("anonymous world renders as %q", anon)
+	}
+	if !strings.Contains(member, "admins") {
+		t.Errorf("member world renders as %q", member)
+	}
+}

@@ -1,0 +1,222 @@
+package reason
+
+import (
+	"strings"
+	"testing"
+
+	"gaaapi/internal/eacl"
+)
+
+func mustEACL(t *testing.T, src string) *eacl.EACL {
+	t.Helper()
+	e, err := eacl.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return e
+}
+
+func mustEngine(t *testing.T, system, local []*eacl.EACL, opts Options) *Engine {
+	t.Helper()
+	e, err := New(system, local, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func mustProve(t *testing.T, e *Engine, name string) *ProofResult {
+	t.Helper()
+	res, err := e.Prove(name)
+	if err != nil {
+		t.Fatalf("Prove(%s): %v", name, err)
+	}
+	return res
+}
+
+func mustAnswer(t *testing.T, e *Engine, query string) *QueryResult {
+	t.Helper()
+	q, err := ParseQuery(query)
+	if err != nil {
+		t.Fatalf("ParseQuery(%s): %v", query, err)
+	}
+	res, err := e.Answer(q)
+	if err != nil {
+		t.Fatalf("Answer(%s): %v", query, err)
+	}
+	return res
+}
+
+func TestOpenGrantRefutesNoAnonymousYes(t *testing.T) {
+	local := mustEACL(t, "pos_access_right apache *\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	res := mustProve(t, e, "no-anonymous-yes")
+	if res.Result != Refuted {
+		t.Fatalf("result = %s, want refuted", res.Result)
+	}
+	if len(res.Witnesses) == 0 {
+		t.Fatal("refutation carries no witness")
+	}
+	if w := res.Witnesses[0]; w.User != "" || w.Decision != "yes" {
+		t.Errorf("witness = %+v, want anonymous yes", w)
+	}
+}
+
+func TestUserRequirementProvesNoAnonymousYes(t *testing.T) {
+	local := mustEACL(t, "pos_access_right apache *\npre_cond_accessid_USER apache *\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	if res := mustProve(t, e, "no-anonymous-yes"); res.Result != Proved {
+		t.Fatalf("result = %s (%s), want proved", res.Result, res.Reason)
+	}
+	who := mustAnswer(t, e, "who-can(apache, *)")
+	if !who.Satisfiable || len(who.Principals) != 1 || who.Principals[0] != "user" {
+		t.Errorf("who-can = %+v, want principals [user]", who)
+	}
+}
+
+func TestWhoCanThreatPin(t *testing.T) {
+	// Paper 7.1 local shape: authentication required above threat low.
+	local := mustEACL(t, "pos_access_right apache *\n"+
+		"pre_cond_system_threat_level local >low\n"+
+		"pre_cond_accessid_USER apache *\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	if res := mustAnswer(t, e, "who-can(apache, *, low)"); res.Satisfiable {
+		t.Errorf("low: satisfiable with principals %v, want none (entry inapplicable)", res.Principals)
+	}
+	res := mustAnswer(t, e, "who-can(apache, *, medium)")
+	if !res.Satisfiable || len(res.Principals) != 1 || res.Principals[0] != "user" {
+		t.Errorf("medium: %+v, want principals [user]", res)
+	}
+}
+
+func TestDeadEntryDetected(t *testing.T) {
+	local := mustEACL(t, "pos_access_right apache *\npos_access_right apache GET /x\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	dead := e.DeadEntries()
+	if len(dead) != 1 || dead[0].Line != 2 {
+		t.Fatalf("DeadEntries = %+v, want the line-2 entry", dead)
+	}
+	if res := mustProve(t, e, "no-dead-entries"); res.Result != Refuted {
+		t.Errorf("no-dead-entries = %s, want refuted", res.Result)
+	}
+}
+
+func TestMaybeAboveSuppressesDeadEntry(t *testing.T) {
+	// Entry 1 hangs on an unresolved runtime value (MAYBE in every
+	// world): with the value resolved the scan could continue, so entry
+	// 2 must not be called dead.
+	local := mustEACL(t, "pos_access_right apache *\n"+
+		"pre_cond_expr local input_length>@max_input\n"+
+		"pos_access_right apache *\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	if dead := e.DeadEntries(); len(dead) != 0 {
+		t.Fatalf("DeadEntries = %+v, want none (maybe-blocked)", dead)
+	}
+	if res := mustProve(t, e, "no-dead-entries"); res.Result != Proved {
+		t.Errorf("no-dead-entries = %s, want proved", res.Result)
+	}
+}
+
+func TestRegexReSuppressesDeadEntry(t *testing.T) {
+	local := mustEACL(t, "neg_access_right apache *\n"+
+		"pre_cond_regex gnu re:^/private/[0-9]+$\n"+
+		"pos_access_right apache *\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	for _, d := range e.DeadEntries() {
+		if d.Line == 1 {
+			t.Errorf("re:-guarded entry reported dead: %+v", d)
+		}
+	}
+}
+
+func TestReachableWithout(t *testing.T) {
+	local := mustEACL(t, "pos_access_right apache *\n"+
+		"pre_cond_system_threat_level local >low\n"+
+		"pre_cond_accessid_USER apache *\n"+
+		"pos_access_right apache GET /pub*\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	res := mustAnswer(t, e, "reachable-without(accessid_USER)")
+	if !res.Satisfiable {
+		t.Fatal("want a YES not involving accessid_USER (the /pub entry)")
+	}
+	if w := res.Witnesses[0]; !strings.HasPrefix(w.Right, "apache GET /pub") {
+		t.Errorf("witness right = %q, want the /pub entry's", w.Right)
+	}
+	// Authentication-only policy: every YES involves accessid_USER.
+	only := mustEngine(t, nil, []*eacl.EACL{mustEACL(t,
+		"pos_access_right apache *\npre_cond_accessid_USER apache *\n")}, Options{})
+	if res := mustAnswer(t, only, "reachable-without(accessid_USER)"); res.Satisfiable {
+		t.Errorf("satisfiable with witnesses %+v, want none", res.Witnesses)
+	}
+}
+
+func TestGrantDiffers(t *testing.T) {
+	system := mustEACL(t, "eacl_mode narrow\n"+
+		"neg_access_right * *\n"+
+		"pre_cond_system_threat_level local =high\n")
+	local := mustEACL(t, "pos_access_right apache *\n")
+	e := mustEngine(t, []*eacl.EACL{system}, []*eacl.EACL{local}, Options{SystemOnly: true})
+	res := mustAnswer(t, e, "grant-differs()")
+	if !res.Satisfiable {
+		t.Fatal("local grant must differ from the system-only projection somewhere")
+	}
+	w := res.Witnesses[0]
+	if w.Decision == w.SystemOnly {
+		t.Errorf("witness decisions equal: %+v", w)
+	}
+
+	noProj := mustEngine(t, []*eacl.EACL{system}, []*eacl.EACL{local}, Options{})
+	q, _ := ParseQuery("grant-differs()")
+	if _, err := noProj.Answer(q); err == nil {
+		t.Error("grant-differs without Options.SystemOnly: want error")
+	}
+}
+
+func TestChallengedDenialSurvivesComposition(t *testing.T) {
+	// Anonymous at threat medium under the 7.1 local shape: the USER
+	// requirement denies with a Basic challenge, and the abstract fold
+	// must carry it exactly as the engine does (replay enforces this;
+	// the assertion documents it).
+	local := mustEACL(t, "pos_access_right apache *\n"+
+		"pre_cond_accessid_USER apache *\n")
+	e := mustEngine(t, nil, []*eacl.EACL{local}, Options{})
+	found := false
+	for i := range e.results {
+		r := &e.results[i]
+		if r.w.user == "" && r.composed.Decision.String() == "no" {
+			found = true
+			if !strings.HasPrefix(r.composed.Challenge, "Basic realm=") {
+				t.Errorf("anonymous denial challenge = %q, want Basic realm", r.composed.Challenge)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no anonymous denial world found")
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "who-can", "who-can(apache)", "who-can(a, b, c, d)",
+		"who-can(a, b, scary)", "reachable-without()", "grant-differs(x)",
+		"frobnicate(a)",
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q): want error", bad)
+		}
+	}
+	q, err := ParseQuery("  who-can( apache , GET /cgi-bin/* , high )  ")
+	if err != nil {
+		t.Fatalf("whitespace form: %v", err)
+	}
+	if q.Right.Value != "GET /cgi-bin/*" || !q.HasThreat {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestUnknownProofName(t *testing.T) {
+	e := mustEngine(t, nil, []*eacl.EACL{mustEACL(t, "pos_access_right apache *\n")}, Options{})
+	if _, err := e.Prove("no-such-property"); err == nil {
+		t.Error("want error for unknown property")
+	}
+}

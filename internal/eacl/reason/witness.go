@@ -1,0 +1,85 @@
+package reason
+
+import "strings"
+
+// Witness synthesis for the '*'-glob language of eacl.Glob: '*' is the
+// only metacharacter, every other byte (including '?') matches itself.
+// A pattern's canonical witness is the pattern with its stars removed —
+// always matched, and built from the policy's own glob alphabet, which
+// is what keeps the abstract domain grounded in the policy text.
+
+// globWitness returns a string matched by pattern: the literal bytes
+// with every '*' deleted. The result may be empty ("", for "*" or "").
+func globWitness(pattern string) string {
+	return strings.ReplaceAll(pattern, "*", "")
+}
+
+// globIntersectWitness returns a shortest string matched by both
+// patterns, or ("", false) when their languages are disjoint. It runs a
+// BFS over the product of the two patterns' glob automata: state (i, j)
+// means "a[i:] and b[j:] must both match the remaining input". Epsilon
+// moves skip a star; consuming moves either advance matching literals
+// or feed one pattern's literal into the other's star.
+func globIntersectWitness(a, b string) (string, bool) {
+	n, m := len(a), len(b)
+	type state struct{ i, j int }
+	// parent reconstruction: prev state plus the byte consumed entering
+	// this state (-1 for epsilon).
+	type via struct {
+		prev state
+		c    int
+	}
+	seen := map[state]via{{0, 0}: {state{-1, -1}, -1}}
+	queue := []state{{0, 0}}
+	build := func(s state) string {
+		var rev []byte
+		for s.i >= 0 {
+			v := seen[s]
+			if v.c >= 0 {
+				rev = append(rev, byte(v.c))
+			}
+			s = v.prev
+		}
+		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+			rev[l], rev[r] = rev[r], rev[l]
+		}
+		return string(rev)
+	}
+	push := func(next state, from state, c int) {
+		if _, ok := seen[next]; ok {
+			return
+		}
+		seen[next] = via{from, c}
+		queue = append(queue, next)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.i == n && s.j == m {
+			return build(s), true
+		}
+		aStar := s.i < n && a[s.i] == '*'
+		bStar := s.j < m && b[s.j] == '*'
+		// Epsilon moves: a star may match the empty run.
+		if aStar {
+			push(state{s.i + 1, s.j}, s, -1)
+		}
+		if bStar {
+			push(state{s.i, s.j + 1}, s, -1)
+		}
+		// Consuming moves need a byte both sides accept. Two stars never
+		// need to consume together: skipping one (epsilon) reaches every
+		// state a joint consume could.
+		switch {
+		case s.i < n && s.j < m && !aStar && !bStar:
+			if a[s.i] == b[s.j] {
+				push(state{s.i + 1, s.j + 1}, s, int(a[s.i]))
+			}
+		case aStar && s.j < m && !bStar:
+			push(state{s.i, s.j + 1}, s, int(b[s.j]))
+		case bStar && s.i < n && !aStar:
+			push(state{s.i + 1, s.j}, s, int(a[s.i]))
+		}
+	}
+	return "", false
+}

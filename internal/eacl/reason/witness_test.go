@@ -1,0 +1,60 @@
+package reason
+
+import (
+	"testing"
+
+	"gaaapi/internal/eacl"
+)
+
+func TestGlobWitness(t *testing.T) {
+	cases := []struct{ pattern, want string }{
+		{"*", ""},
+		{"", ""},
+		{"*phf*", "phf"},
+		{"GET /cgi-bin/*", "GET /cgi-bin/"},
+		{"a*b*c", "abc"},
+	}
+	for _, tt := range cases {
+		if got := globWitness(tt.pattern); got != tt.want {
+			t.Errorf("globWitness(%q) = %q, want %q", tt.pattern, got, tt.want)
+		}
+		if !eacl.Glob(tt.pattern, globWitness(tt.pattern)) {
+			t.Errorf("pattern %q does not match its own witness", tt.pattern)
+		}
+	}
+}
+
+func TestGlobIntersectWitness(t *testing.T) {
+	cases := []struct {
+		a, b    string
+		ok      bool
+		wantLen int // shortest common string length, when ok
+	}{
+		{"*", "*", true, 0},
+		{"abc", "abc", true, 3},
+		{"a*", "b*", false, 0},
+		{"*phf*", "GET *", true, 7},      // "GET phf"
+		{"GET /a/*", "GET */b", true, 8}, // "GET /a/b"
+		{"abc", "abd", false, 0},
+		{"*", "anything", true, 8},
+		{"x*y", "xy", true, 2},
+		{"x*y", "xzzy", true, 4},
+		{"a", "", false, 0},
+	}
+	for _, tt := range cases {
+		got, ok := globIntersectWitness(tt.a, tt.b)
+		if ok != tt.ok {
+			t.Errorf("globIntersectWitness(%q, %q) ok = %v, want %v", tt.a, tt.b, ok, tt.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(got) != tt.wantLen {
+			t.Errorf("globIntersectWitness(%q, %q) = %q (len %d), want len %d", tt.a, tt.b, got, len(got), tt.wantLen)
+		}
+		if !eacl.Glob(tt.a, got) || !eacl.Glob(tt.b, got) {
+			t.Errorf("witness %q not matched by both %q and %q", got, tt.a, tt.b)
+		}
+	}
+}

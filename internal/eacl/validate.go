@@ -56,7 +56,6 @@ func Validate(e *EACL, opts ValidateOptions) []Finding {
 	if len(e.Entries) == 0 {
 		out = append(out, Finding{Warning, 0, "EACL has no entries; evaluation always yields MAYBE (uncertain)"})
 	}
-	seen := make(map[string]int, len(e.Entries)) // canonical entry -> line
 	for i := range e.Entries {
 		en := &e.Entries[i]
 		if en.Right.Sign == Neg {
@@ -67,12 +66,16 @@ func Validate(e *EACL, opts ValidateOptions) []Finding {
 				}
 			}
 		}
-		key := entryKey(en)
-		if prev, dup := seen[key]; dup {
-			out = append(out, Finding{Warning, en.Line,
-				fmt.Sprintf("duplicate of entry at line %d", prev)})
-		} else {
-			seen[key] = en.Line
+		// Duplicates are decided semantically: rights compare as glob
+		// languages (RightsEquivalent, so "GET /a?*" duplicates
+		// "GET /a?**"), conditions literally.
+		for j := 0; j < i; j++ {
+			prev := &e.Entries[j]
+			if RightsEquivalent(prev.Right, en.Right) && condKey(prev) == condKey(en) {
+				out = append(out, Finding{Warning, en.Line,
+					fmt.Sprintf("duplicate of entry at line %d", prev.Line)})
+				break
+			}
 		}
 		if opts.KnownCondition != nil {
 			for _, c := range en.Conditions {
@@ -96,8 +99,10 @@ func Validate(e *EACL, opts ValidateOptions) []Finding {
 	return out
 }
 
-func entryKey(en *Entry) string {
-	key := en.Right.String()
+// condKey canonicalizes an entry's condition list for duplicate
+// comparison; the right is compared separately via RightsEquivalent.
+func condKey(en *Entry) string {
+	var key string
 	for _, c := range en.Conditions {
 		key += "\n" + c.String()
 	}

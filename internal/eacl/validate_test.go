@@ -66,6 +66,31 @@ pre_cond_time_window local 09:00-17:00
 	}
 }
 
+// Two spellings of the same glob language — '?' is a literal byte and
+// "?*" vs "?**" generate identical strings — must be flagged as
+// duplicates even though the strings differ byte-for-byte. A literal
+// string comparison (the pre-PR-7 check) misses this pair.
+func TestValidateDuplicateEntrySemanticGlobs(t *testing.T) {
+	e := mustParse(t, `
+pos_access_right apache GET /report?*
+pos_access_right apache GET /report?**
+`)
+	fs := Validate(e, ValidateOptions{})
+	f := findingWith(fs, "duplicate of entry")
+	if f == nil {
+		t.Fatalf("want duplicate warning for equivalent globs, got %v", fs)
+	}
+	// And genuinely different languages must NOT be merged: '?' is a
+	// literal, so /report? and /reportX differ.
+	e2 := mustParse(t, `
+pos_access_right apache GET /report?
+pos_access_right apache GET /reportX
+`)
+	if f2 := findingWith(Validate(e2, ValidateOptions{}), "duplicate of entry"); f2 != nil {
+		t.Errorf("distinct globs flagged as duplicates: %v", f2)
+	}
+}
+
 func TestValidateShadowedEntry(t *testing.T) {
 	e := mustParse(t, `
 pos_access_right apache *
