@@ -53,28 +53,6 @@ func serve(st *gaahttp.Stack, r workload.Request) *httptest.ResponseRecorder {
 	return rec
 }
 
-// waitFor polls cond every millisecond until it holds or the deadline
-// passes; step, when non-nil, runs before each probe to drive whatever
-// traffic the condition depends on. Deadline-bounded polling instead of
-// fixed sleeps: a slow CI runner gets the whole budget, a fast one
-// moves on after one tick.
-func waitFor(t *testing.T, deadline time.Duration, step func(), cond func() bool) bool {
-	t.Helper()
-	stop := time.Now().Add(deadline)
-	for {
-		if step != nil {
-			step()
-		}
-		if cond() {
-			return true
-		}
-		if time.Now().After(stop) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
 // TestChaosMixedWorkloadAlwaysAnswered replays the legitimate mix with
 // every attack class woven in while evaluators hang, panic, error and
 // stall and the notifier flakes. The contract: zero crashed requests,

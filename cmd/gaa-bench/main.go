@@ -12,6 +12,8 @@
 //	gaa-bench -parallel -json # same, as JSON (BENCH_parallel.json)
 //	gaa-bench -observability  # metrics-instrumentation overhead
 //	                          # (-json: BENCH_observability.json)
+//	gaa-bench -campaigns      # every attack campaign as a load test
+//	                          # (-json: BENCH_campaigns.json)
 //	gaa-bench -drill          # fault drill: seeded evaluator/notifier
 //	                          # fault injection; non-zero exit on crash
 package main
@@ -45,7 +47,8 @@ func run(args []string, out io.Writer) error {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		parallel = fs.Bool("parallel", false, "run the parallel throughput sweep (1/4/16 goroutines) instead of the experiment tables")
 		observ   = fs.Bool("observability", false, "measure metrics-instrumentation overhead (bare vs gaa.WithMetrics) instead of the experiment tables")
-		jsonOut  = fs.Bool("json", false, "with -parallel or -observability: emit machine-readable JSON")
+		camps    = fs.Bool("campaigns", false, "run every attack campaign as a load test (per-phase latency + decision accounting) instead of the experiment tables")
+		jsonOut  = fs.Bool("json", false, "with -parallel, -observability or -campaigns: emit machine-readable JSON")
 
 		drill       = fs.Bool("drill", false, "run a fault drill (seeded fault injection over the section 7.2 deployment) instead of the experiment tables")
 		drillN      = fs.Int("drill-requests", 400, "with -drill: legitimate-workload size")
@@ -111,8 +114,30 @@ func run(args []string, out io.Writer) error {
 		}
 		return experiments.WriteObservabilityJSON(out, results)
 	}
+	if *camps {
+		if !*jsonOut {
+			return experiments.Campaigns(out, opts)
+		}
+		results, err := experiments.CampaignResults(opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteCampaignsJSON(out, results); err != nil {
+			return err
+		}
+		failed := 0
+		for _, cb := range results {
+			if !cb.Passed {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d campaign(s) failed", failed)
+		}
+		return nil
+	}
 	if *jsonOut {
-		return fmt.Errorf("-json requires -parallel or -observability")
+		return fmt.Errorf("-json requires -parallel, -observability or -campaigns")
 	}
 
 	if *list {

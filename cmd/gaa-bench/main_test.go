@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -42,5 +43,53 @@ func TestBadFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("want flag parse error")
+	}
+}
+
+// TestCampaignsTable: the campaign load-test sweep prints one row per
+// phase and succeeds when every checkpoint holds.
+func TestCampaignsTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-campaigns"}, &out); err != nil {
+		t.Fatalf("run -campaigns: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"credential-stuffing", "threat-ladder", "p95(us)", "ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("campaigns table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCampaignsJSON: -campaigns -json emits the BENCH_campaigns.json
+// shape with decision accounting per phase.
+func TestCampaignsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-campaigns", "-json"}, &out); err != nil {
+		t.Fatalf("run -campaigns -json: %v", err)
+	}
+	var doc struct {
+		Campaigns []struct {
+			Campaign string `json:"campaign"`
+			Passed   bool   `json:"passed"`
+			Phases   []struct {
+				AccountingOK bool `json:"accounting_ok"`
+			} `json:"phases"`
+		} `json:"campaigns"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Campaigns) != 6 {
+		t.Fatalf("campaigns = %d, want 6", len(doc.Campaigns))
+	}
+	for _, c := range doc.Campaigns {
+		if !c.Passed {
+			t.Errorf("campaign %s failed", c.Campaign)
+		}
+		for _, ph := range c.Phases {
+			if !ph.AccountingOK {
+				t.Errorf("campaign %s: decision accounting mismatch", c.Campaign)
+			}
+		}
 	}
 }

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gaaapi/internal/scenario"
+)
+
+// CampaignPhaseBench is one phase of one campaign measured as a load
+// test: the wall-clock latency distribution of the full
+// firewall+guard+server path plus the phase's decision accounting.
+// The shape behind BENCH_campaigns.json.
+type CampaignPhaseBench struct {
+	Campaign   string `json:"campaign"`
+	Phase      string `json:"phase"`
+	Requests   int    `json:"requests"`
+	Firewalled int    `json:"firewalled"`
+	// Decisions is the phase's check-phase decision delta.
+	Decisions map[string]uint64 `json:"decisions"`
+	// AccountingOK: check decisions == requests - firewalled held.
+	AccountingOK bool `json:"accounting_ok"`
+	// Checkpoint outcomes (state + traffic assertions).
+	ChecksPassed int `json:"checks_passed"`
+	ChecksFailed int `json:"checks_failed"`
+	// Latency of Target.Do in microseconds.
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	MaxMicros float64 `json:"max_us"`
+	ReqPerSec float64 `json:"req_per_sec"`
+}
+
+// CampaignBench is one campaign's load-test result.
+type CampaignBench struct {
+	Campaign string               `json:"campaign"`
+	Seed     int64                `json:"seed"`
+	Passed   bool                 `json:"passed"`
+	Phases   []CampaignPhaseBench `json:"phases"`
+}
+
+// CampaignResults runs every shipped campaign against a fresh
+// in-process stack with timing enabled. A checkpoint failure or a
+// decision-accounting mismatch does not abort the sweep — it is
+// reported in the result (and by Campaigns as a non-nil error) so the
+// bench run fails loudly.
+func CampaignResults(opts Options) ([]CampaignBench, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = scenario.DefaultSeed
+	}
+	var out []CampaignBench
+	for _, c := range scenario.All() {
+		tgt, err := scenario.NewStackTarget(c.Stack)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		rep, err := scenario.Run(c, tgt, scenario.Options{Seed: seed, Timing: true})
+		tgt.Close()
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		cb := CampaignBench{Campaign: c.Name, Seed: rep.Seed, Passed: rep.Passed}
+		for i, ph := range rep.Phases {
+			pb := CampaignPhaseBench{
+				Campaign:     c.Name,
+				Phase:        ph.Name,
+				Requests:     ph.Requests,
+				Firewalled:   ph.Firewalled,
+				Decisions:    ph.Decisions,
+				AccountingOK: true,
+			}
+			for _, ck := range ph.Checks {
+				if ck.Skipped {
+					continue
+				}
+				if ck.Passed {
+					pb.ChecksPassed++
+				} else {
+					pb.ChecksFailed++
+				}
+				if ck.Name == "decision-accounting" && !ck.Passed {
+					pb.AccountingOK = false
+				}
+			}
+			if i < len(rep.Timings) {
+				tm := rep.Timings[i]
+				pb.P50Micros = float64(tm.P50.Nanoseconds()) / 1e3
+				pb.P95Micros = float64(tm.P95.Nanoseconds()) / 1e3
+				pb.MaxMicros = float64(tm.Max.Nanoseconds()) / 1e3
+				pb.ReqPerSec = tm.ReqPerSec
+			}
+			cb.Phases = append(cb.Phases, pb)
+		}
+		out = append(out, cb)
+	}
+	return out, nil
+}
+
+// WriteCampaignsJSON emits the results as indented JSON — the
+// BENCH_campaigns.json artifact.
+func WriteCampaignsJSON(w io.Writer, results []CampaignBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Campaigns []CampaignBench `json:"campaigns"`
+	}{results})
+}
+
+// Campaigns runs the campaign load-test sweep and prints the per-phase
+// table. It returns an error — a non-zero gaa-bench exit — when any
+// checkpoint or the decision accounting fails.
+func Campaigns(w io.Writer, opts Options) error {
+	results, err := CampaignResults(opts)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	fmt.Fprintf(w, "%-22s %-18s %8s %6s %9s %9s %9s %10s %s\n",
+		"campaign", "phase", "requests", "fw", "p50(us)", "p95(us)", "max(us)", "req/s", "checks")
+	for _, cb := range results {
+		for _, pb := range cb.Phases {
+			status := fmt.Sprintf("%d ok", pb.ChecksPassed)
+			if pb.ChecksFailed > 0 {
+				status = fmt.Sprintf("%d ok %d FAILED", pb.ChecksPassed, pb.ChecksFailed)
+			}
+			if !pb.AccountingOK {
+				status += " ACCOUNTING-MISMATCH"
+			}
+			fmt.Fprintf(w, "%-22s %-18s %8d %6d %9.1f %9.1f %9.1f %10.0f %s\n",
+				pb.Campaign, pb.Phase, pb.Requests, pb.Firewalled,
+				pb.P50Micros, pb.P95Micros, pb.MaxMicros, pb.ReqPerSec, status)
+			failed += pb.ChecksFailed
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d campaign check(s) failed", failed)
+	}
+	return nil
+}

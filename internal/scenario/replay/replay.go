@@ -1,0 +1,240 @@
+// Package replay captures a campaign run's exchanges and state
+// observations into a JSON-lines trace, and replays a trace as a
+// scenario.Target — byte-deterministic, with zero live traffic. A
+// recorded campaign becomes a CI fixture: the replayed run exercises
+// the driver, the checkpoints and the report pipeline exactly as the
+// original did, and any divergence between the replayed request stream
+// and the trace is an error, not a silent skew.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gaaapi/internal/scenario"
+	"gaaapi/internal/workload"
+)
+
+// Version is the trace format version.
+const Version = 1
+
+// Header is the first line of a trace.
+type Header struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+	Seed     int64  `json:"seed"`
+}
+
+// entry is one trace line after the header: exactly one of Exchange or
+// Observation. Entries appear in strict driver call order, so replay
+// enforces the same Do/Observe sequencing the recording saw.
+type entry struct {
+	Exchange    *scenario.Exchange    `json:"exchange,omitempty"`
+	Observation *scenario.Observation `json:"observation,omitempty"`
+}
+
+// Recorder wraps a live target and captures every exchange and
+// observation in call order. The inner target must implement
+// scenario.Observer for checkpoints to replay with full fidelity.
+type Recorder struct {
+	inner   scenario.Target
+	header  Header
+	entries []entry
+}
+
+// NewRecorder wraps inner for the given campaign run.
+func NewRecorder(inner scenario.Target, campaign string, seed int64) *Recorder {
+	return &Recorder{
+		inner:  inner,
+		header: Header{Version: Version, Campaign: campaign, Seed: seed},
+	}
+}
+
+// Do forwards to the inner target and records the exchange.
+func (r *Recorder) Do(req workload.Request) (scenario.Exchange, error) {
+	x, err := r.inner.Do(req)
+	if err != nil {
+		return x, err
+	}
+	cp := x
+	r.entries = append(r.entries, entry{Exchange: &cp})
+	return x, nil
+}
+
+// Observe forwards to the inner observer and records the snapshot.
+// A non-observable inner target yields an empty snapshot (recorded,
+// so replay sequencing still lines up).
+func (r *Recorder) Observe() scenario.Observation {
+	var obs scenario.Observation
+	if o, ok := r.inner.(scenario.Observer); ok {
+		obs = o.Observe()
+	}
+	cp := obs
+	r.entries = append(r.entries, entry{Observation: &cp})
+	return obs
+}
+
+// Advance forwards clock advances; they are not recorded (replay has
+// no clock to move).
+func (r *Recorder) Advance(d time.Duration) {
+	if a, ok := r.inner.(scenario.Advancer); ok {
+		a.Advance(d)
+	}
+}
+
+// Write serializes the trace: one JSON header line, then one line
+// per entry.
+func (r *Recorder) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(r.header); err != nil {
+		return err
+	}
+	for _, e := range r.entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Save writes the trace to path, creating parent directories.
+func (r *Recorder) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Replayer serves a recorded trace as a scenario target. Every Do must
+// match the recorded request (method, target, source, user) in the
+// recorded order; every Observe must land where an observation was
+// recorded. Divergence is a hard error.
+type Replayer struct {
+	header  Header
+	entries []entry
+	pos     int
+	err     error
+}
+
+// Load parses a trace file.
+func Load(path string) (*Replayer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses a trace stream.
+func Read(r io.Reader) (*Replayer, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("empty trace")
+	}
+	rp := &Replayer{}
+	if err := json.Unmarshal(sc.Bytes(), &rp.header); err != nil {
+		return nil, fmt.Errorf("trace header: %w", err)
+	}
+	if rp.header.Version != Version {
+		return nil, fmt.Errorf("trace version %d, want %d", rp.header.Version, Version)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace entry %d: %w", len(rp.entries)+1, err)
+		}
+		if (e.Exchange == nil) == (e.Observation == nil) {
+			return nil, fmt.Errorf("trace entry %d: want exactly one of exchange/observation", len(rp.entries)+1)
+		}
+		rp.entries = append(rp.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rp, nil
+}
+
+// Header returns the trace header.
+func (rp *Replayer) Header() Header { return rp.header }
+
+// Do returns the next recorded exchange, verifying the replayed
+// request matches the recorded one.
+func (rp *Replayer) Do(req workload.Request) (scenario.Exchange, error) {
+	if rp.pos >= len(rp.entries) {
+		return scenario.Exchange{}, fmt.Errorf("replay: request %s %s past end of trace (%d entries)",
+			req.Method, req.Target, len(rp.entries))
+	}
+	e := rp.entries[rp.pos]
+	if e.Exchange == nil {
+		return scenario.Exchange{}, fmt.Errorf("replay: entry %d is an observation, got request %s %s",
+			rp.pos+1, req.Method, req.Target)
+	}
+	rp.pos++
+	x := *e.Exchange
+	if x.Method != req.Method || x.Target != req.Target || x.IP != req.ClientIP || x.User != req.User {
+		return scenario.Exchange{}, fmt.Errorf(
+			"replay divergence at entry %d: recorded %s %s from %s user %q, replaying %s %s from %s user %q",
+			rp.pos, x.Method, x.Target, x.IP, x.User, req.Method, req.Target, req.ClientIP, req.User)
+	}
+	return x, nil
+}
+
+// Observe returns the next recorded snapshot. Sequencing violations
+// are sticky — check Done after the run.
+func (rp *Replayer) Observe() scenario.Observation {
+	if rp.pos >= len(rp.entries) {
+		rp.fail(fmt.Errorf("replay: observation past end of trace"))
+		return scenario.Observation{}
+	}
+	e := rp.entries[rp.pos]
+	if e.Observation == nil {
+		rp.fail(fmt.Errorf("replay: entry %d is an exchange, expected an observation", rp.pos+1))
+		return scenario.Observation{}
+	}
+	rp.pos++
+	return *e.Observation
+}
+
+// Advance is a no-op: recorded time is already baked into the trace.
+func (rp *Replayer) Advance(time.Duration) {}
+
+// Done reports whether the trace was consumed exactly: no sequencing
+// errors and no leftover entries.
+func (rp *Replayer) Done() error {
+	if rp.err != nil {
+		return rp.err
+	}
+	if rp.pos != len(rp.entries) {
+		return fmt.Errorf("replay: %d of %d trace entries unconsumed", len(rp.entries)-rp.pos, len(rp.entries))
+	}
+	return nil
+}
+
+func (rp *Replayer) fail(err error) {
+	if rp.err == nil {
+		rp.err = err
+	}
+}

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MarshalJSON renders the canonical report: indented, map keys sorted
+// (encoding/json's guarantee), no timestamps, no wall-clock data — so
+// the same seed always yields byte-identical bytes, whether the run
+// was live, in-process or replayed.
+func (r *Report) MarshalCanonical() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteJSON writes the canonical report followed by a newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := r.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Summarize writes the human-readable campaign summary: per-phase
+// status/class tallies, checkpoint outcomes, and the verdict.
+func (r *Report) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "campaign %s (%s) seed=%d\n", r.Campaign, r.Title, r.Seed)
+	for _, ph := range r.Phases {
+		fmt.Fprintf(w, "  phase %s: %d requests", ph.Name, ph.Requests)
+		if ph.Firewalled > 0 {
+			fmt.Fprintf(w, " (%d firewalled)", ph.Firewalled)
+		}
+		fmt.Fprintf(w, "\n")
+		for _, status := range sortedKeys(ph.Statuses) {
+			fmt.Fprintf(w, "    status %s: %d\n", status, ph.Statuses[status])
+		}
+		passed, failed, skipped := 0, 0, 0
+		for _, c := range ph.Checks {
+			switch {
+			case c.Skipped:
+				skipped++
+			case c.Passed:
+				passed++
+			default:
+				failed++
+				fmt.Fprintf(w, "    FAIL %s: want %s, got %s\n", c.Name, c.Want, c.Got)
+			}
+		}
+		fmt.Fprintf(w, "    checks: %d passed", passed)
+		if failed > 0 {
+			fmt.Fprintf(w, ", %d FAILED", failed)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(w, ", %d skipped", skipped)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	if r.Passed {
+		fmt.Fprintf(w, "PASS: %d requests, %d checks\n", r.Requests, r.Checks)
+	} else {
+		fmt.Fprintf(w, "FAIL: %d checkpoint failures\n", len(r.Failures))
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"strings"
+	"time"
 
 	"net/http"
 )
@@ -24,6 +25,10 @@ type Request struct {
 	// Attack labels the generating attack class ("" for legitimate
 	// traffic); experiments use it as ground truth.
 	Attack string
+	// Delay is how long the issuing client waits before sending this
+	// request (simulated time in the scenario driver, real time against
+	// a live target). Zero means back-to-back.
+	Delay time.Duration
 }
 
 // HTTPRequest materializes the request for an httpd.Server.

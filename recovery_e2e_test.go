@@ -253,16 +253,16 @@ func freeAddr(t *testing.T) string {
 
 func waitHTTP(t *testing.T, url string) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	if !waitFor(t, 10*time.Second, nil, func() bool {
 		resp, err := http.Get(url)
-		if err == nil {
-			resp.Body.Close()
-			return
+		if err != nil {
+			return false
 		}
-		time.Sleep(25 * time.Millisecond)
+		resp.Body.Close()
+		return true
+	}) {
+		t.Fatalf("server at %s never came up", url)
 	}
-	t.Fatalf("server at %s never came up", url)
 }
 
 func httpBody(t *testing.T, url string) string {

@@ -1,0 +1,29 @@
+package gaaapi
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes; step, when non-nil, runs before each probe to drive whatever
+// traffic the condition depends on. Deadline-bounded polling instead of
+// fixed sleeps: a slow CI runner gets the whole budget, a fast one
+// moves on after one tick. Shared by every e2e test in the package —
+// add no per-file copies.
+func waitFor(t *testing.T, deadline time.Duration, step func(), cond func() bool) bool {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		if step != nil {
+			step()
+		}
+		if cond() {
+			return true
+		}
+		if time.Now().After(stop) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
