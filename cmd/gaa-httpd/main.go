@@ -21,11 +21,19 @@
 //	GET  /gaa/metrics — Prometheus text exposition: phase latency,
 //	                    decisions, cache, supervision, notifier, state
 //	                    store, threat level (disable with -metrics=false)
+//	GET  /gaa/healthz — readiness report: state recovery, policy
+//	                    generation, replication convergence (503 only
+//	                    while replication is catching up)
 //
 // With -pprof the Go runtime profiles are served under /debug/pprof/.
 // SIGHUP triggers the same validated reload. With -state-dir the
 // adaptive state (blocks with their expiries, threat level, lockout
 // counters, blacklist groups) is journaled and survives kill -9.
+//
+// With -node-id and -peers the server joins a replication fleet:
+// every adaptive-state mutation is pushed to each peer's
+// POST /gaa/replicate endpoint, so a block earned on one node is
+// enforced by all of them (DESIGN.md "Cluster replication").
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 
 	"gaaapi/internal/actions"
 	"gaaapi/internal/audit"
+	"gaaapi/internal/cluster"
 	"gaaapi/internal/conditions"
 	"gaaapi/internal/eacl"
 	"gaaapi/internal/faults"
@@ -111,6 +120,11 @@ type options struct {
 	fsyncPolicy  string
 	snapInterval time.Duration
 
+	// Cluster knobs (DESIGN.md "Cluster replication").
+	nodeID       string
+	peers        string
+	pushInterval time.Duration
+
 	// Observability knobs.
 	metrics bool
 	pprof   bool
@@ -135,6 +149,9 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.stateDir, "state-dir", "", "journal adaptive state (blocks, threat level, lockouts, blacklists) under this directory so it survives crashes")
 	fs.StringVar(&o.fsyncPolicy, "fsync", "interval", "state WAL fsync policy: always|interval|never")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "compact the state WAL into a snapshot this often (0: count-driven only)")
+	fs.StringVar(&o.nodeID, "node-id", "", "unique cluster node name; enables replication when -peers is set")
+	fs.StringVar(&o.peers, "peers", "", "comma-separated peer base URLs (e.g. http://host2:8080,http://host3:8080) to replicate adaptive state to")
+	fs.DurationVar(&o.pushInterval, "replication-interval", 0, "idle replication push interval (0: built-in default)")
 	fs.BoolVar(&o.metrics, "metrics", true, "serve Prometheus text metrics at /gaa/metrics")
 	fs.BoolVar(&o.pprof, "pprof", false, "serve runtime profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -151,6 +168,7 @@ type deployment struct {
 	groups   *groups.Store
 	reloader *gaahttp.Reloader
 	store    *statestore.Store
+	cluster  *cluster.Node
 	metrics  *metrics.Registry
 	close    func()
 }
@@ -269,6 +287,52 @@ func buildDeployment(o options) (*deployment, error) {
 		if err != nil {
 			store.Close()
 			return nil, err
+		}
+	}
+
+	// Cluster replication: ship every adaptive-state mutation to the
+	// peers and apply theirs. The node is created here (so the journal
+	// mirror tap sees all traffic-driven mutations) but its pushers
+	// only start once the deployment is fully wired — failure paths
+	// below then have no goroutines to unwind.
+	var node *cluster.Node
+	if o.peers != "" || o.nodeID != "" {
+		if o.nodeID == "" {
+			if store != nil {
+				store.Close()
+			}
+			return nil, fmt.Errorf("-peers requires -node-id (a unique name per fleet member)")
+		}
+		if persist == nil {
+			// No -state-dir: replicate from a memory-only attachment.
+			persist, err = statestore.Attach(nil, statestore.Components{
+				Blocks:   blocks,
+				Threat:   threat,
+				Counters: counters,
+				Groups:   grp,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		var peerURLs []string
+		for _, p := range strings.Split(o.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerURLs = append(peerURLs, p)
+			}
+		}
+		node, err = cluster.New(cluster.Config{
+			NodeID:       o.nodeID,
+			Peers:        peerURLs,
+			State:        persist,
+			Transport:    cluster.NewHTTPTransport(nil),
+			PushInterval: o.pushInterval,
+		})
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, fmt.Errorf("cluster: %w", err)
 		}
 	}
 
@@ -483,6 +547,26 @@ func buildDeployment(o options) (*deployment, error) {
 			fmt.Fprintf(w, "state restored: blocks=%d expired-blocks=%d threat=%q counter-events=%d group-members=%d\n",
 				rsum.Blocks, rsum.ExpiredBlocks, rsum.ThreatLevel, rsum.CounterEvents, rsum.GroupMembers)
 		}
+		if node != nil {
+			cs := node.Stats()
+			fmt.Fprintf(w, "cluster: node=%s epoch=%d seq=%d log=%d horizon=%d max-lag=%d degraded-peers=%d\n",
+				cs.NodeID, cs.Epoch, cs.Seq, cs.LogLen, cs.Horizon, cs.MaxLag, cs.DegradedPeers)
+			fmt.Fprintf(w, "cluster io: pushes=%d failures=%d sent=%d applied=%d dup=%d corrupt=%d apply-errors=%d self-drops=%d stale-drops=%d snapshots-sent=%d snapshots-applied=%d\n",
+				cs.Pushes, cs.PushFailures, cs.RecordsSent, cs.RecordsApplied,
+				cs.RecordsDuplicate, cs.CorruptFrames, cs.ApplyErrors,
+				cs.SelfDrops, cs.StaleEpochDrops, cs.SnapshotsSent, cs.SnapshotsApplied)
+			for _, p := range cs.Peers {
+				fmt.Fprintf(w, "cluster peer: %s acked=%d lag=%d breaker=%s degraded=%v",
+					p.URL, p.Acked, p.Lag, p.Breaker, p.Degraded)
+				if p.LastError != "" {
+					fmt.Fprintf(w, " last-error=%q", p.LastError)
+				}
+				fmt.Fprintln(w)
+			}
+			for _, or := range cs.Origins {
+				fmt.Fprintf(w, "cluster origin: %s epoch=%d applied=%d\n", or.Node, or.Epoch, or.Applied)
+			}
+		}
 		recs := ring.Records()
 		if len(recs) > 10 {
 			recs = recs[len(recs)-10:]
@@ -513,9 +597,18 @@ func buildDeployment(o options) (*deployment, error) {
 			Blocks:   blocks,
 			Reliable: reliable,
 			Store:    store,
+			Persist:  persist,
 			Reloader: reloader,
+			Cluster:  node,
 		})
 		metricsH = gaahttp.MetricsHandler(reg)
+	}
+	healthzH := gaahttp.HealthzHandler(func() gaahttp.Healthz {
+		return gaahttp.ComputeHealth(store, node)
+	})
+	var replicateH http.Handler
+	if node != nil {
+		replicateH = node.Handler()
 	}
 
 	var root http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -525,6 +618,12 @@ func buildDeployment(o options) (*deployment, error) {
 			return
 		case r.URL.Path == "/gaa/reload":
 			reload(w, r)
+			return
+		case r.URL.Path == gaahttp.HealthzPath:
+			healthzH.ServeHTTP(w, r)
+			return
+		case replicateH != nil && r.URL.Path == cluster.ReplicatePath:
+			replicateH.ServeHTTP(w, r)
 			return
 		case metricsH != nil && r.URL.Path == "/gaa/metrics":
 			metricsH.ServeHTTP(w, r)
@@ -542,6 +641,11 @@ func buildDeployment(o options) (*deployment, error) {
 		root = gaahttp.InstrumentHandler(reg, root)
 	}
 
+	// Everything is wired; the pushers may now ship state.
+	if node != nil {
+		node.Start()
+	}
+
 	return &deployment{
 		handler:  root,
 		metrics:  reg,
@@ -549,7 +653,11 @@ func buildDeployment(o options) (*deployment, error) {
 		groups:   grp,
 		reloader: reloader,
 		store:    store,
+		cluster:  node,
 		close: func() {
+			if node != nil {
+				node.Stop()
+			}
 			corrCancel()
 			sub.Cancel()
 			cancelLevelSub()
@@ -582,6 +690,11 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("gaa-httpd listening on %s (threat level %s)\n", o.listen, dep.threat.Level())
+	if dep.cluster != nil {
+		cs := dep.cluster.Stats()
+		fmt.Printf("gaa-httpd cluster node %q (epoch %d) replicating to %d peer(s)\n",
+			cs.NodeID, cs.Epoch, len(cs.Peers))
+	}
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)

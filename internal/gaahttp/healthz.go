@@ -1,0 +1,80 @@
+package gaahttp
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"gaaapi/internal/cluster"
+	"gaaapi/internal/statestore"
+)
+
+// HealthzPath is where deployments serve the readiness endpoint.
+const HealthzPath = "/gaa/healthz"
+
+// Healthz is the readiness report: whether the adaptive state was
+// recovered, the policy set is live, and replication has caught up.
+type Healthz struct {
+	// Ready is the overall verdict (the HTTP status mirrors it: 200
+	// ready, 503 not).
+	Ready bool `json:"ready"`
+	// Store is "ok" (journal recovered), "none" (running in-memory).
+	Store string `json:"store"`
+	// DroppedBytes is the corrupt WAL tail quarantined at recovery.
+	DroppedBytes int64 `json:"dropped_bytes,omitempty"`
+	// Policy is "ok" once the guard serves a policy generation.
+	Policy string `json:"policy"`
+	// Replication is "none" (single node), "ok" (all peers confirmed
+	// the whole log), "catching-up" (peers behind but progressing) or
+	// "degraded" (a peer unreachable past the degraded window).
+	Replication string `json:"replication"`
+	// Lag is the largest per-peer count of unconfirmed records.
+	Lag uint64 `json:"lag,omitempty"`
+	// DegradedPeers counts peers currently unreachable.
+	DegradedPeers int `json:"degraded_peers,omitempty"`
+}
+
+// ComputeHealth builds the readiness report from the durable store and
+// the replication node (either may be nil). Degraded replication keeps
+// the node ready — a partitioned peer must not make a load balancer
+// pull the one node that still serves (that would turn a partition
+// into an outage); catching up on a healthy link is the only not-ready
+// replication state, and only until the lag drains.
+func ComputeHealth(store *statestore.Store, node *cluster.Node) Healthz {
+	h := Healthz{Store: "none", Policy: "ok", Replication: "none"}
+	if store != nil {
+		h.Store = "ok"
+		h.DroppedBytes = store.Recovery().DroppedBytes
+	}
+	if node != nil {
+		st := node.Stats()
+		h.Lag = st.MaxLag
+		h.DegradedPeers = st.DegradedPeers
+		switch {
+		case st.DegradedPeers > 0:
+			h.Replication = "degraded"
+		case st.MaxLag > 0:
+			h.Replication = "catching-up"
+		default:
+			h.Replication = "ok"
+		}
+	}
+	h.Ready = h.Replication != "catching-up"
+	return h
+}
+
+// Health computes the stack's readiness report.
+func (s *Stack) Health() Healthz { return ComputeHealth(s.Store, s.Cluster) }
+
+// HealthzHandler serves health's report as JSON: 200 when ready
+// (including degraded replication), 503 while replication is catching
+// up on healthy links.
+func HealthzHandler(health func() Healthz) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+}

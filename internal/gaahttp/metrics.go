@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"gaaapi/internal/cluster"
 	"gaaapi/internal/conditions"
 	"gaaapi/internal/ids"
 	"gaaapi/internal/metrics"
@@ -43,6 +44,22 @@ const (
 	MetricStateSyncErrors     = "gaa_state_sync_errors_total"
 	MetricStateLastSeq        = "gaa_state_last_seq"
 	MetricStateDroppedBytes   = "gaa_state_recovery_dropped_bytes"
+	MetricStateJournalErrors  = "gaa_state_journal_errors_total"
+	MetricStateRestoreDropped = "gaa_state_restore_dropped_records"
+
+	MetricClusterPushes           = "gaa_cluster_pushes_total"
+	MetricClusterRecordsSent      = "gaa_cluster_records_sent_total"
+	MetricClusterPushFailures     = "gaa_cluster_push_failures_total"
+	MetricClusterRecordsApplied   = "gaa_cluster_records_applied_total"
+	MetricClusterRecordsDuplicate = "gaa_cluster_records_duplicate_total"
+	MetricClusterCorruptFrames    = "gaa_cluster_corrupt_frames_total"
+	MetricClusterApplyErrors      = "gaa_cluster_apply_errors_total"
+	MetricClusterSnapshotsSent    = "gaa_cluster_snapshots_sent_total"
+	MetricClusterSnapshotsApplied = "gaa_cluster_snapshots_applied_total"
+	MetricClusterPeers            = "gaa_cluster_peers"
+	MetricClusterPeersDegraded    = "gaa_cluster_peers_degraded"
+	MetricClusterConvergenceLag   = "gaa_cluster_convergence_lag_records"
+	MetricClusterLogSeq           = "gaa_cluster_log_seq"
 
 	MetricReloadAttempts      = "gaa_reload_attempts_total"
 	MetricReloadApplied       = "gaa_reload_applied_total"
@@ -64,7 +81,9 @@ type Components struct {
 	Blocks   *netblock.Set
 	Reliable *notify.Reliable
 	Store    *statestore.Store
+	Persist  *statestore.Adaptive
 	Reloader *Reloader
+	Cluster  *cluster.Node
 }
 
 // RegisterComponentMetrics wires the adaptive substrate into reg using
@@ -152,6 +171,54 @@ func RegisterComponentMetrics(reg *metrics.Registry, c Components) {
 		reg.CounterFunc(MetricStateDroppedBytes,
 			"Bytes of corrupt WAL tail dropped during the last recovery.",
 			func() uint64 { return uint64(st.Recovery().DroppedBytes) })
+	}
+	if p := c.Persist; p != nil {
+		reg.CounterFunc(MetricStateJournalErrors,
+			"Adaptive-state journal appends lost to marshal or disk faults (enforcement continues from memory).",
+			p.JournalErrors)
+		reg.GaugeFunc(MetricStateRestoreDropped,
+			"Persisted records dropped at the last restore (blocks already past their deadline).",
+			func() float64 { return float64(p.Restored().ExpiredBlocks) })
+	}
+	if cl := c.Cluster; cl != nil {
+		for _, f := range []struct {
+			name, help string
+			fn         func(cluster.Stats) uint64
+		}{
+			{MetricClusterPushes, "Replication push round-trips attempted.",
+				func(s cluster.Stats) uint64 { return s.Pushes }},
+			{MetricClusterRecordsSent, "Adaptive-state records acknowledged by peers.",
+				func(s cluster.Stats) uint64 { return s.RecordsSent }},
+			{MetricClusterPushFailures, "Replication pushes that failed (peer down, slow, or rejecting).",
+				func(s cluster.Stats) uint64 { return s.PushFailures }},
+			{MetricClusterRecordsApplied, "Remote records merged into local state.",
+				func(s cluster.Stats) uint64 { return s.RecordsApplied }},
+			{MetricClusterRecordsDuplicate, "Remote records dropped as duplicates or no-op merges.",
+				func(s cluster.Stats) uint64 { return s.RecordsDuplicate }},
+			{MetricClusterCorruptFrames, "Replication pushes carrying CRC-invalid or truncated frames.",
+				func(s cluster.Stats) uint64 { return s.CorruptFrames }},
+			{MetricClusterApplyErrors, "Remote records with valid framing but undecodable payloads.",
+				func(s cluster.Stats) uint64 { return s.ApplyErrors }},
+			{MetricClusterSnapshotsSent, "Full-state snapshots shipped to peers behind the log horizon.",
+				func(s cluster.Stats) uint64 { return s.SnapshotsSent }},
+			{MetricClusterSnapshotsApplied, "Full-state snapshots merged from peers.",
+				func(s cluster.Stats) uint64 { return s.SnapshotsApplied }},
+		} {
+			f := f
+			reg.CounterFunc(f.name, f.help, func() uint64 { return f.fn(cl.Stats()) })
+		}
+		reg.GaugeFunc(MetricClusterPeers,
+			"Configured replication peers.",
+			func() float64 { return float64(len(cl.Stats().Peers)) })
+		reg.GaugeFunc(MetricClusterPeersDegraded,
+			"Peers without a successful push within the degraded window.",
+			func() float64 { return float64(cl.Stats().DegradedPeers) })
+		reg.GaugeFunc(MetricClusterConvergenceLag,
+			"Largest per-peer count of local records not yet acknowledged.",
+			func() float64 { return float64(cl.Stats().MaxLag) })
+		reg.GaugeFunc(MetricClusterLogSeq,
+			"Replication log head sequence (locally originated mutations).",
+			func() float64 { return float64(cl.Stats().Seq) })
 	}
 	if rl := c.Reloader; rl != nil {
 		for _, f := range []struct {

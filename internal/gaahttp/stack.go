@@ -7,6 +7,7 @@ import (
 
 	"gaaapi/internal/actions"
 	"gaaapi/internal/audit"
+	"gaaapi/internal/cluster"
 	"gaaapi/internal/conditions"
 	"gaaapi/internal/gaa"
 	"gaaapi/internal/groups"
@@ -89,6 +90,17 @@ type StackConfig struct {
 	// (gaa.WithMetrics) plus every component's collect-time metrics
 	// (RegisterComponentMetrics). Serve it with MetricsHandler.
 	Metrics bool
+
+	// NodeID enables cluster mode: the node replicates its adaptive
+	// state to Peers and accepts pushes at the replicate endpoint
+	// (Stack.Cluster.Handler). Works with or without StateDir.
+	NodeID string
+	// Peers are the base URLs of the other fleet members.
+	Peers []string
+	// ClusterTransport overrides peer delivery (in-process tests).
+	ClusterTransport cluster.Transport
+	// ReplicationInterval overrides the push cadence (default 100ms).
+	ReplicationInterval time.Duration
 }
 
 // Stack is a fully wired deployment: the GAA-API with all built-in
@@ -122,9 +134,12 @@ type Stack struct {
 	// window drives the post-swap rollback probe.
 	Reloader *Reloader
 	// Store and Persist are the crash-safe state store and its adaptive
-	// wiring (nil without StateDir).
+	// wiring (Store nil without StateDir; Persist also wired store-less
+	// in cluster mode, as the replication tap and merge point).
 	Store   *statestore.Store
 	Persist *statestore.Adaptive
+	// Cluster is the replication node (nil unless NodeID was set).
+	Cluster *cluster.Node
 
 	// Metrics is the observability registry (nil unless
 	// StackConfig.Metrics was set).
@@ -188,6 +203,46 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			return nil, err
 		}
 		st.Store, st.Persist = store, persist
+	}
+
+	// Cluster mode: replicate adaptive-state mutations to the fleet.
+	// The statestore tap works with or without a disk journal, so a
+	// store-less node still ships and merges state.
+	if cfg.NodeID != "" || len(cfg.Peers) > 0 {
+		if st.Persist == nil {
+			persist, err := statestore.Attach(nil, statestore.Components{
+				Blocks:   st.Blocks,
+				Threat:   st.Threat,
+				Counters: st.Counters,
+				Groups:   st.Groups,
+				Clock:    clock,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st.Persist = persist
+		}
+		// No Clock override: replication timing (push tickers, breaker
+		// cooldowns, the degraded window, epoch derivation) is wall
+		// clock even under a simulated campaign clock — the pushers run
+		// on real goroutines, so a frozen simulated clock would wedge
+		// the circuit breaker open forever. Record deadlines still use
+		// the component clock via the statestore merge rules.
+		node, err := cluster.New(cluster.Config{
+			NodeID:       cfg.NodeID,
+			Peers:        cfg.Peers,
+			State:        st.Persist,
+			Transport:    cfg.ClusterTransport,
+			PushInterval: cfg.ReplicationInterval,
+		})
+		if err != nil {
+			if st.Store != nil {
+				st.Store.Close()
+			}
+			return nil, err
+		}
+		st.Cluster = node
+		node.Start()
 	}
 
 	var apiOpts []gaa.Option
@@ -297,7 +352,9 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			Blocks:   st.Blocks,
 			Reliable: st.Reliable,
 			Store:    st.Store,
+			Persist:  st.Persist,
 			Reloader: st.Reloader,
+			Cluster:  st.Cluster,
 		})
 	}
 	return st, nil
@@ -313,9 +370,12 @@ func (s *Stack) ReloadPolicies(system string, locals map[string]string) ReloadRe
 	})
 }
 
-// Close releases background workers (the async notifier) and flushes
-// the state store.
+// Close releases background workers (the async notifier, the cluster
+// pushers) and flushes the state store.
 func (s *Stack) Close() {
+	if s.Cluster != nil {
+		s.Cluster.Stop()
+	}
 	if s.async != nil {
 		s.async.Close()
 	}

@@ -87,6 +87,36 @@ func (s *Store) Remove(group, member string) bool {
 	return true
 }
 
+// ApplyEvent applies a replicated membership mutation without
+// journaling and reports whether local state changed. The caller
+// (statestore.Adaptive.ApplyRemote) journals changed state itself —
+// journaling here would echo the record back into the replication
+// mirror and loop it around the cluster.
+func (s *Store) ApplyEvent(ev Event) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[ev.Group]
+	if ev.Remove {
+		if !ok {
+			return false
+		}
+		if _, exists := g[ev.Member]; !exists {
+			return false
+		}
+		delete(g, ev.Member)
+		return true
+	}
+	if !ok {
+		g = make(map[string]struct{})
+		s.groups[ev.Group] = g
+	}
+	if _, exists := g[ev.Member]; exists {
+		return false
+	}
+	g[ev.Member] = struct{}{}
+	return true
+}
+
 // Contains reports whether member belongs to group.
 func (s *Store) Contains(group, member string) bool {
 	s.mu.RLock()

@@ -139,3 +139,31 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d, want 8", s.Len("g"))
 	}
 }
+
+func TestApplyEventMergesWithoutJournal(t *testing.T) {
+	s := NewStore()
+	var hook int
+	s.SetJournal(func(Event) { hook++ })
+
+	if !s.ApplyEvent(Event{Group: "BadGuys", Member: "10.0.0.1"}) {
+		t.Fatal("fresh membership not applied")
+	}
+	if s.ApplyEvent(Event{Group: "BadGuys", Member: "10.0.0.1"}) {
+		t.Fatal("duplicate add reported change")
+	}
+	if !s.Contains("BadGuys", "10.0.0.1") {
+		t.Fatal("membership missing")
+	}
+	if !s.ApplyEvent(Event{Group: "BadGuys", Member: "10.0.0.1", Remove: true}) {
+		t.Fatal("remove not applied")
+	}
+	if s.ApplyEvent(Event{Group: "BadGuys", Member: "10.0.0.1", Remove: true}) {
+		t.Fatal("remove of absent member reported change")
+	}
+	if s.ApplyEvent(Event{Group: "nope", Member: "x", Remove: true}) {
+		t.Fatal("remove from unknown group reported change")
+	}
+	if hook != 0 {
+		t.Fatalf("ApplyEvent invoked the journal %d times; replication would loop", hook)
+	}
+}

@@ -190,6 +190,38 @@ func (m *Manager) set(l Level, journaled bool) {
 	}
 }
 
+// Merge applies a threat transition replicated from another node with
+// max-wins semantics: the level only rises (a peer under attack pulls
+// the fleet up; de-escalation stays a local decision). The merged
+// transition — From rewritten to the local level — is recorded in the
+// history and subscribers are notified, but the journal hook is NOT
+// invoked: the caller persists the merged record itself so the mirror
+// never echoes it back into the cluster. Reports the recorded
+// transition and whether the level changed.
+func (m *Manager) Merge(tr Transition) (Transition, bool) {
+	m.mu.Lock()
+	if tr.To <= m.level {
+		m.mu.Unlock()
+		return Transition{}, false
+	}
+	tr.From = m.level
+	m.level = tr.To
+	m.transitions.Add(1)
+	m.history = append(m.history, tr)
+	if len(m.history) > historyCap {
+		m.history = m.history[len(m.history)-historyCap:]
+	}
+	subs := make([]*levelSub, 0, len(m.subs))
+	for _, sub := range m.subs {
+		subs = append(subs, sub)
+	}
+	m.mu.Unlock()
+	for _, sub := range subs {
+		sub.send(tr.To)
+	}
+	return tr, true
+}
+
 // Escalate raises the level to l if it is higher than the current one
 // and reports whether a change occurred.
 func (m *Manager) Escalate(l Level) bool {

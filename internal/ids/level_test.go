@@ -244,3 +244,54 @@ func TestHistoryCapBounded(t *testing.T) {
 		t.Fatalf("history grew to %d, want cap %d", got, historyCap)
 	}
 }
+
+func TestMergeIsMaxWins(t *testing.T) {
+	m := NewManager(Medium)
+	var journaled int
+	m.SetJournal(func(Transition) { journaled++ })
+
+	// A lower or equal remote level never de-escalates.
+	if _, ok := m.Merge(Transition{From: High, To: Low}); ok {
+		t.Fatal("merge de-escalated")
+	}
+	if _, ok := m.Merge(Transition{From: Low, To: Medium}); ok {
+		t.Fatal("merge of equal level reported change")
+	}
+	if m.Level() != Medium {
+		t.Fatalf("level = %v after no-op merges", m.Level())
+	}
+
+	// A higher remote level pulls the local level up; the recorded
+	// transition's From is rewritten to the local level.
+	tr, ok := m.Merge(Transition{From: Low, To: High})
+	if !ok || tr.From != Medium || tr.To != High {
+		t.Fatalf("merge = %+v, %v", tr, ok)
+	}
+	if m.Level() != High {
+		t.Fatalf("level = %v after merge", m.Level())
+	}
+	hist := m.History()
+	if len(hist) == 0 || hist[len(hist)-1].To != High {
+		t.Fatalf("merge not recorded in history: %v", hist)
+	}
+	if journaled != 0 {
+		t.Fatalf("Merge invoked the journal %d times; replication would loop", journaled)
+	}
+}
+
+func TestMergeNotifiesSubscribers(t *testing.T) {
+	m := NewManager(Low)
+	ch, cancel := m.Subscribe()
+	defer cancel()
+	if _, ok := m.Merge(Transition{To: High}); !ok {
+		t.Fatal("merge failed")
+	}
+	select {
+	case got := <-ch:
+		if got != High {
+			t.Fatalf("subscriber saw %v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscriber not notified of merged escalation")
+	}
+}

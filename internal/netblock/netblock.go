@@ -128,6 +128,69 @@ func (s *Set) BlockUntil(addr string, expiry time.Time) {
 	}
 }
 
+// ApplyEvent merges a replicated mutation without journaling and
+// reports whether local state changed. Blocks merge with
+// later-deadline-wins (a permanent block counts as the latest possible
+// deadline), so two nodes exchanging their block sets converge on the
+// union with the longest protection per address instead of swapping
+// deadlines forever. Unblocks remove the entry if present. The caller
+// (statestore.Adaptive.ApplyRemote) journals changed state itself.
+func (s *Set) ApplyEvent(ev Event) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev.Unblock {
+		if _, ok := s.hosts[ev.Addr]; ok {
+			delete(s.hosts, ev.Addr)
+			return true
+		}
+		kept := s.nets[:0]
+		changed := false
+		for _, n := range s.nets {
+			if n.cidr == ev.Addr {
+				changed = true
+				continue
+			}
+			kept = append(kept, n)
+		}
+		s.nets = kept
+		return changed
+	}
+	if strings.Contains(ev.Addr, "/") {
+		if _, ipnet, err := net.ParseCIDR(ev.Addr); err == nil {
+			for i := range s.nets {
+				if s.nets[i].cidr == ev.Addr {
+					if !laterDeadline(s.nets[i].expiry, ev.Expiry) {
+						return false
+					}
+					s.nets[i].expiry = ev.Expiry
+					return true
+				}
+			}
+			s.nets = append(s.nets, blockedNet{cidr: ev.Addr, ipnet: ipnet, expiry: ev.Expiry})
+			return true
+		}
+	}
+	if cur, ok := s.hosts[ev.Addr]; ok {
+		if !laterDeadline(cur, ev.Expiry) {
+			return false
+		}
+	}
+	s.hosts[ev.Addr] = ev.Expiry
+	return true
+}
+
+// laterDeadline reports whether candidate extends the current deadline
+// (zero = permanent = latest possible).
+func laterDeadline(cur, candidate time.Time) bool {
+	if cur.IsZero() {
+		return false // already permanent; nothing extends it
+	}
+	if candidate.IsZero() {
+		return true // permanent beats any timed deadline
+	}
+	return candidate.After(cur)
+}
+
 // Unblock removes a previously blocked address or CIDR.
 func (s *Set) Unblock(addr string) {
 	s.mu.Lock()

@@ -203,3 +203,71 @@ func TestJournalReceivesMutations(t *testing.T) {
 		t.Fatalf("unblock not journaled: %+v", events[2])
 	}
 }
+
+func TestApplyEventLaterDeadlineWins(t *testing.T) {
+	now := time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)
+	s := NewSet(WithClock(func() time.Time { return now }))
+
+	short := now.Add(10 * time.Minute)
+	long := now.Add(24 * time.Hour)
+
+	if !s.ApplyEvent(Event{Addr: "10.0.0.1", Expiry: short}) {
+		t.Fatal("fresh block not applied")
+	}
+	if !s.ApplyEvent(Event{Addr: "10.0.0.1", Expiry: long}) {
+		t.Fatal("longer deadline did not extend")
+	}
+	if s.ApplyEvent(Event{Addr: "10.0.0.1", Expiry: short}) {
+		t.Fatal("shorter deadline overwrote a longer one")
+	}
+	if got := s.Entries()[0].Expiry; !got.Equal(long) {
+		t.Fatalf("deadline = %v, want %v", got, long)
+	}
+
+	// Permanent is the latest possible deadline: it beats any timed
+	// one and nothing extends it.
+	if !s.ApplyEvent(Event{Addr: "10.0.0.1"}) {
+		t.Fatal("permanent did not beat timed")
+	}
+	if s.ApplyEvent(Event{Addr: "10.0.0.1", Expiry: long}) {
+		t.Fatal("timed deadline replaced permanent")
+	}
+	if s.ApplyEvent(Event{Addr: "10.0.0.1"}) {
+		t.Fatal("re-applying permanent reported change")
+	}
+}
+
+func TestApplyEventCIDRAndUnblock(t *testing.T) {
+	now := time.Date(2003, 5, 1, 12, 0, 0, 0, time.UTC)
+	s := NewSet(WithClock(func() time.Time { return now }))
+
+	if !s.ApplyEvent(Event{Addr: "192.0.2.0/24", Expiry: now.Add(time.Hour)}) {
+		t.Fatal("CIDR block not applied")
+	}
+	if !s.Blocked("192.0.2.55") {
+		t.Fatal("CIDR block not effective")
+	}
+	if s.ApplyEvent(Event{Addr: "192.0.2.0/24", Expiry: now.Add(time.Minute)}) {
+		t.Fatal("shorter CIDR deadline applied")
+	}
+	if !s.ApplyEvent(Event{Unblock: true, Addr: "192.0.2.0/24"}) {
+		t.Fatal("CIDR unblock not applied")
+	}
+	if s.ApplyEvent(Event{Unblock: true, Addr: "192.0.2.0/24"}) {
+		t.Fatal("unblock of absent entry reported change")
+	}
+	if s.Blocked("192.0.2.55") {
+		t.Fatal("CIDR still blocked after unblock")
+	}
+}
+
+func TestApplyEventDoesNotJournal(t *testing.T) {
+	s := NewSet()
+	var hook int
+	s.SetJournal(func(Event) { hook++ })
+	s.ApplyEvent(Event{Addr: "10.0.0.9"})
+	s.ApplyEvent(Event{Unblock: true, Addr: "10.0.0.9"})
+	if hook != 0 {
+		t.Fatalf("ApplyEvent invoked the journal %d times; replication would loop", hook)
+	}
+}

@@ -8,6 +8,7 @@ package retry
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -23,6 +24,16 @@ type Policy struct {
 	Multiplier float64
 	// MaxDelay caps the backoff (default 1s).
 	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized away,
+	// in [0,1]: 0 keeps the deterministic exponential schedule, 1 is
+	// full jitter — uniform over (0, delay]. A fleet of peers retrying
+	// a recovered node on the same deterministic schedule is a
+	// thundering herd; jitter decorrelates them.
+	Jitter float64
+	// Rand supplies uniform [0,1) randomness for jitter; nil uses the
+	// process-wide source. Inject a seeded source for deterministic
+	// tests.
+	Rand func() float64
 }
 
 func (p Policy) withDefaults() Policy {
@@ -38,7 +49,48 @@ func (p Policy) withDefaults() Policy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = time.Second
 	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
 	return p
+}
+
+// Delay returns the backoff before retry number attempt (attempt 1 is
+// the sleep after the first failure): the capped exponential schedule
+// with the policy's jitter fraction randomized. It is what Do sleeps
+// between attempts, exported so callers running their own retry loops
+// (the cluster replication pusher) share the same jittered schedule.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		// Keep (1-Jitter) of the delay deterministic and spread the
+		// rest uniformly; Jitter=1 is classic full jitter over (0, d].
+		d = d*(1-p.Jitter) + d*p.Jitter*p.Rand()
+		if d < 1 {
+			d = 1 // never a zero sleep: that busy-spins the retry loop
+		}
+	}
+	return time.Duration(d)
 }
 
 // Do runs fn until it succeeds, the attempts are exhausted, or ctx is
@@ -46,7 +98,6 @@ func (p Policy) withDefaults() Policy {
 // number of attempts made and the last error (nil on success).
 func Do(ctx context.Context, p Policy, fn func(context.Context) error) (int, error) {
 	p = p.withDefaults()
-	delay := p.BaseDelay
 	var err error
 	for attempt := 1; ; attempt++ {
 		if err = fn(ctx); err == nil {
@@ -55,16 +106,12 @@ func Do(ctx context.Context, p Policy, fn func(context.Context) error) (int, err
 		if attempt >= p.MaxAttempts {
 			return attempt, err
 		}
-		t := time.NewTimer(delay)
+		t := time.NewTimer(p.Delay(attempt))
 		select {
 		case <-ctx.Done():
 			t.Stop()
 			return attempt, err
 		case <-t.C:
-		}
-		delay = time.Duration(float64(delay) * p.Multiplier)
-		if delay > p.MaxDelay {
-			delay = p.MaxDelay
 		}
 	}
 }

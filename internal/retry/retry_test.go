@@ -3,6 +3,7 @@ package retry
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -96,6 +97,88 @@ func TestDoBackoffGrowsAndCaps(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("capped backoff took %v; cap not applied", elapsed)
+	}
+}
+
+func TestDelayDeterministicWithoutJitter(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, Multiplier: 2, MaxDelay: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Out-of-range attempts clamp rather than misbehave.
+	if got := p.Delay(0); got != 10*time.Millisecond {
+		t.Fatalf("Delay(0) = %v, want base delay", got)
+	}
+}
+
+func TestDelayFullJitterBounds(t *testing.T) {
+	src := rand.New(rand.NewSource(2003))
+	p := Policy{
+		BaseDelay: 10 * time.Millisecond, Multiplier: 2,
+		MaxDelay: 80 * time.Millisecond, Jitter: 1, Rand: src.Float64,
+	}
+	for attempt := 1; attempt <= 6; attempt++ {
+		det := Policy{BaseDelay: p.BaseDelay, Multiplier: p.Multiplier, MaxDelay: p.MaxDelay}.Delay(attempt)
+		saw := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := p.Delay(attempt)
+			if d <= 0 || d > det {
+				t.Fatalf("jittered Delay(%d) = %v outside (0, %v]", attempt, d, det)
+			}
+			saw[d] = true
+		}
+		if len(saw) < 10 {
+			t.Fatalf("full jitter for attempt %d produced only %d distinct delays", attempt, len(saw))
+		}
+	}
+}
+
+func TestDelayPartialJitterKeepsFloor(t *testing.T) {
+	src := rand.New(rand.NewSource(7))
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+		Jitter: 0.25, Rand: src.Float64}
+	for i := 0; i < 100; i++ {
+		d := p.Delay(1)
+		if d < 75*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("25%% jitter gave %v, want within [75ms, 100ms]", d)
+		}
+	}
+}
+
+func TestDelaySeededSourceIsReproducible(t *testing.T) {
+	mk := func() []time.Duration {
+		src := rand.New(rand.NewSource(42))
+		p := Policy{BaseDelay: time.Millisecond, Jitter: 1, Rand: src.Float64}
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = p.Delay(i + 1)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not reproducible: run1[%d]=%v run2[%d]=%v", i, a[i], i, b[i])
+		}
+	}
+}
+
+func TestDoAppliesJitterWithoutStalling(t *testing.T) {
+	src := rand.New(rand.NewSource(1))
+	p := Policy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond, Jitter: 1, Rand: src.Float64}
+	start := time.Now()
+	attempts, err := Do(context.Background(), p, func(context.Context) error { return errFlaky })
+	if attempts != 5 || !errors.Is(err, errFlaky) {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("jittered Do took %v; jitter must shrink, never grow, delays", elapsed)
 	}
 }
 

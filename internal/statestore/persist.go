@@ -12,12 +12,14 @@ import (
 	"gaaapi/internal/netblock"
 )
 
-// Record kinds journaled by the adaptive wiring.
+// Record kinds journaled by the adaptive wiring. Exported: the cluster
+// replication layer ships exactly these records between nodes, so the
+// journal vocabulary is the replication vocabulary.
 const (
-	kindBlock   = "block"
-	kindThreat  = "threat"
-	kindCounter = "count"
-	kindGroup   = "group"
+	KindBlock   = "block"
+	KindThreat  = "threat"
+	KindCounter = "count"
+	KindGroup   = "group"
 )
 
 // Components are the adaptive-state holders a store keeps durable. Any
@@ -52,13 +54,22 @@ type threatState struct {
 
 // Adaptive binds a Store to live components: recovery replays the
 // snapshot plus the WAL tail into them, then every further mutation is
-// journaled, and compaction snapshots their current state.
+// journaled, and compaction snapshots their current state. A nil store
+// is allowed (memory-only deployments that still replicate): nothing
+// is restored or journaled, but the mirror hook and remote-record
+// application keep working.
 type Adaptive struct {
 	store *Store
 	c     Components
 
 	journalErrors atomic.Uint64
 	restored      RestoreSummary
+
+	// mirror receives every locally originated journal record (kind +
+	// marshaled payload) — the cluster replication tap. Records applied
+	// via ApplyRemote do NOT reach the mirror; that is what breaks
+	// replication loops. Set once via SetMirror before serving traffic.
+	mirror atomic.Pointer[func(kind string, data json.RawMessage)]
 }
 
 // RestoreSummary describes what Attach put back into the components.
@@ -78,46 +89,82 @@ type RestoreSummary struct {
 
 // Attach restores the store's recovered state into the components and
 // wires their journals into the store. Call once, before serving
-// traffic.
+// traffic. A nil store skips restore and journaling but still taps
+// mutations for the mirror.
 func Attach(store *Store, c Components) (*Adaptive, error) {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
 	a := &Adaptive{store: store, c: c}
 
-	if raw, ok := store.SnapshotData(); ok {
-		var snap stateSnapshot
-		if err := json.Unmarshal(raw, &snap); err != nil {
-			return nil, fmt.Errorf("statestore: decode snapshot state: %w", err)
+	if store != nil {
+		if raw, ok := store.SnapshotData(); ok {
+			var snap stateSnapshot
+			if err := json.Unmarshal(raw, &snap); err != nil {
+				return nil, fmt.Errorf("statestore: decode snapshot state: %w", err)
+			}
+			a.applySnapshot(&snap)
 		}
-		a.applySnapshot(&snap)
-	}
-	for _, rec := range store.Tail() {
-		if err := a.applyRecord(rec); err != nil {
-			return nil, err
+		for _, rec := range store.Tail() {
+			if err := a.applyRecord(rec); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	// Journal hooks go in after restore so replay is not re-journaled.
 	if c.Blocks != nil {
-		c.Blocks.SetJournal(func(ev netblock.Event) { a.append(kindBlock, ev) })
+		c.Blocks.SetJournal(func(ev netblock.Event) { a.append(KindBlock, ev) })
 	}
 	if c.Threat != nil {
-		c.Threat.SetJournal(func(tr ids.Transition) { a.append(kindThreat, tr) })
+		c.Threat.SetJournal(func(tr ids.Transition) { a.append(KindThreat, tr) })
 	}
 	if c.Counters != nil {
-		c.Counters.SetJournal(func(ev conditions.CounterEvent) { a.append(kindCounter, ev) })
+		c.Counters.SetJournal(func(ev conditions.CounterEvent) { a.append(KindCounter, ev) })
 	}
 	if c.Groups != nil {
-		c.Groups.SetJournal(func(ev groups.Event) { a.append(kindGroup, ev) })
+		c.Groups.SetJournal(func(ev groups.Event) { a.append(KindGroup, ev) })
 	}
-	store.SetSnapshotFunc(a.snapshot)
+	if store != nil {
+		store.SetSnapshotFunc(a.snapshot)
+	}
 	return a, nil
 }
 
+// SetMirror installs the replication tap: fn receives the kind and
+// marshaled payload of every locally originated mutation, after it was
+// journaled (or counted as a journal error — replication keeps working
+// through disk faults). Call before serving traffic.
+func (a *Adaptive) SetMirror(fn func(kind string, data json.RawMessage)) {
+	a.mirror.Store(&fn)
+}
+
 // append journals one mutation; failures (disk faults) are counted,
-// not propagated — the server keeps enforcing from memory.
+// not propagated — the server keeps enforcing from memory. The mirror,
+// when set, sees the record regardless: a local disk fault must not
+// stop the fleet from learning about an attacker.
 func (a *Adaptive) append(kind string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		a.journalErrors.Add(1)
+		return
+	}
+	if a.store != nil {
+		if err := a.store.Append(kind, json.RawMessage(data)); err != nil {
+			a.journalErrors.Add(1)
+		}
+	}
+	if m := a.mirror.Load(); m != nil {
+		(*m)(kind, data)
+	}
+}
+
+// journalRemote persists a record merged from a peer without touching
+// the mirror (no echo back into the cluster).
+func (a *Adaptive) journalRemote(kind string, v any) {
+	if a.store == nil {
+		return
+	}
 	if err := a.store.Append(kind, v); err != nil {
 		a.journalErrors.Add(1)
 	}
@@ -170,7 +217,7 @@ func (a *Adaptive) applySnapshot(snap *stateSnapshot) {
 // frame are an error — the CRC said these bytes are what we wrote.
 func (a *Adaptive) applyRecord(rec Record) error {
 	switch rec.Kind {
-	case kindBlock:
+	case KindBlock:
 		if a.c.Blocks == nil {
 			return nil
 		}
@@ -187,7 +234,7 @@ func (a *Adaptive) applyRecord(rec Record) error {
 			a.c.Blocks.BlockUntil(ev.Addr, ev.Expiry)
 			a.restored.Blocks++
 		}
-	case kindThreat:
+	case KindThreat:
 		if a.c.Threat == nil {
 			return nil
 		}
@@ -198,7 +245,7 @@ func (a *Adaptive) applyRecord(rec Record) error {
 		history := append(a.c.Threat.History(), tr)
 		a.c.Threat.Restore(tr.To, history)
 		a.restored.ThreatLevel = tr.To.String()
-	case kindCounter:
+	case KindCounter:
 		if a.c.Counters == nil {
 			return nil
 		}
@@ -212,7 +259,7 @@ func (a *Adaptive) applyRecord(rec Record) error {
 			a.c.Counters.RestoreEvent(ev.Key, ev.At)
 			a.restored.CounterEvents++
 		}
-	case kindGroup:
+	case KindGroup:
 		if a.c.Groups == nil {
 			return nil
 		}
@@ -228,6 +275,140 @@ func (a *Adaptive) applyRecord(rec Record) error {
 		}
 	}
 	return nil
+}
+
+// ApplyRemote merges one record replicated from another node into the
+// live components and reports whether local state changed. Merge rules
+// (DESIGN.md "Cluster replication"):
+//
+//   - blocks: the later deadline wins (permanent counts as latest);
+//     already-expired remote blocks are dropped; unblocks apply as-is.
+//   - threat: max-wins — the level only rises; de-escalation stays a
+//     local decision.
+//   - counters: additive — every event lands in the sliding window.
+//   - groups: adds and removes apply as sent (add-heavy blacklists
+//     converge; concurrent add/remove resolves by arrival order).
+//
+// Changed state is journaled locally (so it survives a restart) but
+// never echoed to the mirror — that is the replication loop-breaker.
+// A malformed payload is an error; the caller counts it against the
+// sending peer. Unknown kinds are skipped (a newer node may send
+// them).
+func (a *Adaptive) ApplyRemote(rec Record) (bool, error) {
+	switch rec.Kind {
+	case KindBlock:
+		if a.c.Blocks == nil {
+			return false, nil
+		}
+		var ev netblock.Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return false, fmt.Errorf("statestore: remote %s record: %w", rec.Kind, err)
+		}
+		if !ev.Unblock && !ev.Expiry.IsZero() && !a.c.Clock().Before(ev.Expiry) {
+			return false, nil // arrived after its own deadline
+		}
+		if !a.c.Blocks.ApplyEvent(ev) {
+			return false, nil
+		}
+		a.journalRemote(KindBlock, ev)
+		return true, nil
+	case KindThreat:
+		if a.c.Threat == nil {
+			return false, nil
+		}
+		var tr ids.Transition
+		if err := json.Unmarshal(rec.Data, &tr); err != nil {
+			return false, fmt.Errorf("statestore: remote %s record: %w", rec.Kind, err)
+		}
+		merged, ok := a.c.Threat.Merge(tr)
+		if !ok {
+			return false, nil
+		}
+		a.journalRemote(KindThreat, merged)
+		return true, nil
+	case KindCounter:
+		if a.c.Counters == nil {
+			return false, nil
+		}
+		var ev conditions.CounterEvent
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return false, fmt.Errorf("statestore: remote %s record: %w", rec.Kind, err)
+		}
+		if ev.Reset {
+			a.c.Counters.Reset(ev.Key)
+		} else {
+			a.c.Counters.RestoreEvent(ev.Key, ev.At)
+		}
+		a.journalRemote(KindCounter, ev)
+		return true, nil
+	case KindGroup:
+		if a.c.Groups == nil {
+			return false, nil
+		}
+		var ev groups.Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return false, fmt.Errorf("statestore: remote %s record: %w", rec.Kind, err)
+		}
+		if !a.c.Groups.ApplyEvent(ev) {
+			return false, nil
+		}
+		a.journalRemote(KindGroup, ev)
+		return true, nil
+	}
+	return false, nil
+}
+
+// StateSnapshot marshals the full live adaptive state — what a node
+// sends to a peer that fell behind the replication log horizon.
+func (a *Adaptive) StateSnapshot() ([]byte, error) { return a.snapshot() }
+
+// ApplyRemoteSnapshot merges a peer's full state snapshot using the
+// same rules as ApplyRemote. Counters are NOT merged from snapshots
+// (replaying a full event series would double-count); they replicate
+// incrementally only. Returns how many mutations changed local state.
+func (a *Adaptive) ApplyRemoteSnapshot(data []byte) (int, error) {
+	var snap stateSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("statestore: remote snapshot: %w", err)
+	}
+	applied := 0
+	now := a.c.Clock()
+	if a.c.Blocks != nil {
+		for _, e := range snap.Blocks {
+			if !e.Permanent && !e.Expiry.IsZero() && !now.Before(e.Expiry) {
+				continue
+			}
+			ev := netblock.Event{Addr: e.Addr, Expiry: e.Expiry}
+			if a.c.Blocks.ApplyEvent(ev) {
+				a.journalRemote(KindBlock, ev)
+				applied++
+			}
+		}
+	}
+	if a.c.Threat != nil && snap.Threat != nil {
+		if level, err := ids.ParseLevel(snap.Threat.Level); err == nil {
+			tr := ids.Transition{To: level, At: now}
+			if len(snap.Threat.History) > 0 {
+				tr.At = snap.Threat.History[len(snap.Threat.History)-1].At
+			}
+			if merged, ok := a.c.Threat.Merge(tr); ok {
+				a.journalRemote(KindThreat, merged)
+				applied++
+			}
+		}
+	}
+	if a.c.Groups != nil {
+		for group, members := range snap.Groups {
+			for _, m := range members {
+				ev := groups.Event{Group: group, Member: m}
+				if a.c.Groups.ApplyEvent(ev) {
+					a.journalRemote(KindGroup, ev)
+					applied++
+				}
+			}
+		}
+	}
+	return applied, nil
 }
 
 // snapshot gathers the live component state for compaction.

@@ -1,0 +1,174 @@
+package statestore
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gaaapi/internal/groups"
+	"gaaapi/internal/ids"
+	"gaaapi/internal/netblock"
+)
+
+// attachLive builds a store-less Adaptive over live components — the
+// shape the cluster layer uses on nodes running without -state-dir.
+func attachLive(t *testing.T) (*Adaptive, Components) {
+	t.Helper()
+	c := Components{
+		Blocks: netblock.NewSet(),
+		Threat: ids.NewManager(ids.Low),
+		Groups: groups.NewStore(),
+	}
+	a, err := Attach(nil, c)
+	if err != nil {
+		t.Fatalf("Attach(nil store): %v", err)
+	}
+	return a, c
+}
+
+func TestMirrorSeesLocalMutations(t *testing.T) {
+	a, c := attachLive(t)
+	var kinds []string
+	a.SetMirror(func(kind string, data json.RawMessage) {
+		kinds = append(kinds, kind)
+		if len(data) == 0 {
+			t.Fatalf("mirror got empty payload for %s", kind)
+		}
+	})
+	c.Blocks.Block("10.0.0.1", time.Hour)
+	c.Threat.Set(ids.Medium)
+	c.Groups.Add("BadGuys", "10.0.0.1")
+	want := []string{KindBlock, KindThreat, KindGroup}
+	if len(kinds) != len(want) {
+		t.Fatalf("mirror saw %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("mirror saw %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestApplyRemoteBypassesMirror(t *testing.T) {
+	a, c := attachLive(t)
+	var mirrored int
+	a.SetMirror(func(string, json.RawMessage) { mirrored++ })
+
+	ev, _ := json.Marshal(netblock.Event{Addr: "10.0.0.2", Expiry: time.Now().Add(time.Hour)})
+	changed, err := a.ApplyRemote(Record{Seq: 1, Kind: KindBlock, Data: ev})
+	if err != nil || !changed {
+		t.Fatalf("ApplyRemote = %v, %v", changed, err)
+	}
+	tr, _ := json.Marshal(ids.Transition{To: ids.High, At: time.Now()})
+	if _, err := a.ApplyRemote(Record{Seq: 2, Kind: KindThreat, Data: tr}); err != nil {
+		t.Fatalf("ApplyRemote threat: %v", err)
+	}
+	if !c.Blocks.Blocked("10.0.0.2") || c.Threat.Level() != ids.High {
+		t.Fatal("remote records not applied")
+	}
+	if mirrored != 0 {
+		t.Fatalf("remote applies hit the mirror %d times; records would loop around the cluster", mirrored)
+	}
+}
+
+func TestApplyRemoteDropsExpiredBlock(t *testing.T) {
+	a, c := attachLive(t)
+	ev, _ := json.Marshal(netblock.Event{Addr: "10.0.0.3", Expiry: time.Now().Add(-time.Minute)})
+	changed, err := a.ApplyRemote(Record{Seq: 1, Kind: KindBlock, Data: ev})
+	if err != nil || changed {
+		t.Fatalf("expired block applied: %v, %v", changed, err)
+	}
+	if c.Blocks.Blocked("10.0.0.3") {
+		t.Fatal("expired remote block is live")
+	}
+}
+
+func TestApplyRemoteMalformedAndUnknown(t *testing.T) {
+	a, _ := attachLive(t)
+	if _, err := a.ApplyRemote(Record{Seq: 1, Kind: KindBlock, Data: json.RawMessage(`{"addr": 12}`)}); err == nil {
+		t.Fatal("malformed payload accepted")
+	}
+	changed, err := a.ApplyRemote(Record{Seq: 2, Kind: "future-kind", Data: json.RawMessage(`{}`)})
+	if err != nil || changed {
+		t.Fatalf("unknown kind not skipped: %v, %v", changed, err)
+	}
+}
+
+func TestSnapshotRoundTripMerges(t *testing.T) {
+	a, c := attachLive(t)
+	c.Blocks.Block("10.0.0.4", time.Hour)
+	c.Threat.Set(ids.Medium)
+	c.Groups.Add("BadGuys", "10.0.0.4")
+	snap, err := a.StateSnapshot()
+	if err != nil {
+		t.Fatalf("StateSnapshot: %v", err)
+	}
+
+	b, bc := attachLive(t)
+	bc.Blocks.Block("10.0.0.5", time.Hour) // b's own state must survive the merge
+	applied, err := b.ApplyRemoteSnapshot(snap)
+	if err != nil {
+		t.Fatalf("ApplyRemoteSnapshot: %v", err)
+	}
+	if applied < 3 {
+		t.Fatalf("applied = %d, want at least 3", applied)
+	}
+	if !bc.Blocks.Blocked("10.0.0.4") || !bc.Blocks.Blocked("10.0.0.5") {
+		t.Fatal("snapshot merge lost a block")
+	}
+	if bc.Threat.Level() != ids.Medium || !bc.Groups.Contains("BadGuys", "10.0.0.4") {
+		t.Fatal("snapshot merge lost threat or group state")
+	}
+	// Re-applying the same snapshot is a no-op.
+	if again, _ := b.ApplyRemoteSnapshot(snap); again != 0 {
+		t.Fatalf("snapshot re-apply changed %d entries", again)
+	}
+}
+
+func TestEncodeDecodeFramesRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Kind: KindBlock, Data: json.RawMessage(`{"addr":"10.0.0.1"}`)},
+		{Seq: 2, Kind: KindGroup, Data: json.RawMessage(`{"group":"BadGuys","member":"10.0.0.1"}`)},
+	}
+	frames, err := EncodeFrames(recs)
+	if err != nil {
+		t.Fatalf("EncodeFrames: %v", err)
+	}
+	got, err := DecodeFrames(frames)
+	if err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d != %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Seq != recs[i].Seq || got[i].Kind != recs[i].Kind {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	// A torn tail surfaces the valid prefix plus a *FrameError.
+	torn, err := DecodeFrames(frames[:len(frames)-4])
+	var ferr *FrameError
+	if err == nil {
+		t.Fatal("torn tail decoded cleanly")
+	}
+	if !asFrameError(err, &ferr) {
+		t.Fatalf("error type = %T", err)
+	}
+	if len(torn) != 1 || torn[0].Seq != 1 {
+		t.Fatalf("valid prefix = %+v", torn)
+	}
+	if ferr.Dropped == 0 || ferr.Reason == "" {
+		t.Fatalf("FrameError = %+v", ferr)
+	}
+}
+
+// asFrameError is errors.As without the import dance in this file.
+func asFrameError(err error, target **FrameError) bool {
+	fe, ok := err.(*FrameError)
+	if ok {
+		*target = fe
+	}
+	return ok
+}

@@ -51,6 +51,53 @@ func encodeFrame(rec Record) ([]byte, error) {
 	return frame, nil
 }
 
+// EncodeFrames renders records in the WAL frame format. It is the
+// cluster-replication wire encoding: the same length+CRC framing that
+// protects the on-disk journal protects the records a node ships to
+// its peers.
+func EncodeFrames(recs []Record) ([]byte, error) {
+	var out []byte
+	for _, rec := range recs {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame...)
+	}
+	return out, nil
+}
+
+// DecodeFrames parses framed records from data. It always returns the
+// records of the longest valid prefix; a torn or corrupt tail is
+// reported as a *FrameError (records stay usable) so a receiver can
+// apply what checked out and count the corruption.
+func DecodeFrames(data []byte) ([]Record, error) {
+	res := scanWAL(data)
+	if res.droppedBytes > 0 {
+		return res.records, &FrameError{
+			Reason:   res.droppedReason,
+			ValidLen: res.validLen,
+			Dropped:  res.droppedBytes,
+		}
+	}
+	return res.records, nil
+}
+
+// FrameError describes the invalid tail DecodeFrames stopped at.
+type FrameError struct {
+	// Reason explains why the scan stopped.
+	Reason string
+	// ValidLen is the byte length of the valid record prefix.
+	ValidLen int64
+	// Dropped counts the bytes past the valid prefix.
+	Dropped int64
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("statestore: invalid frame at offset %d (%s, %d bytes dropped)",
+		e.ValidLen, e.Reason, e.Dropped)
+}
+
 // scanResult is what scanWAL recovered from one WAL file.
 type scanResult struct {
 	records []Record
