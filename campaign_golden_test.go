@@ -91,7 +91,7 @@ func TestCampaignReplaySuite(t *testing.T) {
 // driver, the checkpoint evaluation, the decision accounting or the
 // report shape shows up as a byte diff.
 func TestCampaignGoldenReports(t *testing.T) {
-	for _, name := range []string{"credential-stuffing", "flash-crowd"} {
+	for _, name := range []string{"credential-stuffing", "flash-crowd", "adaptive-ramp", "adaptive-flap"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			c, err := scenario.Find(name)

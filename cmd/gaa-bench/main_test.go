@@ -79,8 +79,8 @@ func TestCampaignsJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
 		t.Fatalf("not JSON: %v\n%s", err, out.String())
 	}
-	if len(doc.Campaigns) != 6 {
-		t.Fatalf("campaigns = %d, want 6", len(doc.Campaigns))
+	if len(doc.Campaigns) != 8 {
+		t.Fatalf("campaigns = %d, want 8", len(doc.Campaigns))
 	}
 	for _, c := range doc.Campaigns {
 		if !c.Passed {

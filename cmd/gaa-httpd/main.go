@@ -62,6 +62,7 @@ import (
 	"gaaapi/internal/groups"
 	"gaaapi/internal/httpd"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/metrics"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
@@ -125,6 +126,12 @@ type options struct {
 	peers        string
 	pushInterval time.Duration
 
+	// Adaptive detection knobs (DESIGN.md "Adaptive detection").
+	adaptiveOn         bool
+	adaptiveBlockScore float64
+	adaptiveBlockFor   time.Duration
+	adaptiveDwell      time.Duration
+
 	// Observability knobs.
 	metrics bool
 	pprof   bool
@@ -152,6 +159,10 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.nodeID, "node-id", "", "unique cluster node name; enables replication when -peers is set")
 	fs.StringVar(&o.peers, "peers", "", "comma-separated peer base URLs (e.g. http://host2:8080,http://host3:8080) to replicate adaptive state to")
 	fs.DurationVar(&o.pushInterval, "replication-interval", 0, "idle replication push interval (0: built-in default)")
+	fs.BoolVar(&o.adaptiveOn, "adaptive", false, "enable self-adaptive per-source threat scoring (learned profiles drive the threat level and per-source blocks)")
+	fs.Float64Var(&o.adaptiveBlockScore, "adaptive-block-score", 0, "per-source anomaly score that triggers a block (0: built-in default)")
+	fs.DurationVar(&o.adaptiveBlockFor, "adaptive-block-for", 0, "duration of score-triggered source blocks (0: built-in default)")
+	fs.DurationVar(&o.adaptiveDwell, "adaptive-dwell", 0, "minimum time between adaptive threat-level changes before a lower is allowed (0: built-in default)")
 	fs.BoolVar(&o.metrics, "metrics", true, "serve Prometheus text metrics at /gaa/metrics")
 	fs.BoolVar(&o.pprof, "pprof", false, "serve runtime profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -253,6 +264,23 @@ func buildDeployment(o options) (*deployment, error) {
 	notifyInj := faults.New(o.faultSeed+1, notifySpec)
 	diskInj := faults.New(o.faultSeed+2, diskSpec)
 
+	// Self-adaptive threat scoring: built before statestore.Attach so
+	// restore and journaling cover its score/profile records.
+	var scorer *adaptive.Engine
+	if o.adaptiveOn {
+		acfg := adaptive.Defaults()
+		if o.adaptiveBlockScore > 0 {
+			acfg.BlockScore = o.adaptiveBlockScore
+		}
+		if o.adaptiveBlockFor > 0 {
+			acfg.BlockFor = o.adaptiveBlockFor
+		}
+		if o.adaptiveDwell > 0 {
+			acfg.Dwell = o.adaptiveDwell
+		}
+		scorer = adaptive.New(acfg, threat, blocks)
+	}
+
 	// Crash-safe adaptive state: restore what a previous process
 	// journaled into the components, then journal every further
 	// mutation. Must happen before any traffic (or the groups file)
@@ -283,6 +311,7 @@ func buildDeployment(o options) (*deployment, error) {
 			Threat:   threat,
 			Counters: counters,
 			Groups:   grp,
+			Scorer:   scorer,
 		})
 		if err != nil {
 			store.Close()
@@ -310,6 +339,7 @@ func buildDeployment(o options) (*deployment, error) {
 				Threat:   threat,
 				Counters: counters,
 				Groups:   grp,
+				Scorer:   scorer,
 			})
 			if err != nil {
 				return nil, err
@@ -413,6 +443,7 @@ func buildDeployment(o options) (*deployment, error) {
 		Local:  []gaa.PolicySource{localSwap},
 		Bus:    bus, Signatures: sigs,
 		Anomaly:          ids.NewDetector(ids.DefaultAnomalyConfig()),
+		Scorer:           scorer,
 		Audit:            ring,
 		SensitiveObjects: []string{"/cgi-bin/*", "/private/*"},
 		Health:           reloader,
@@ -510,6 +541,12 @@ func buildDeployment(o options) (*deployment, error) {
 		ns := reliable.Stats()
 		fmt.Fprintf(w, "notifier: delivered=%d failures=%d retries=%d short-circuits=%d breaker=%s opens=%d\n",
 			ns.Delivered, ns.Failures, ns.Retries, ns.ShortCircuits, ns.Breaker, ns.BreakerOpens)
+		if scorer != nil {
+			as := scorer.Stats()
+			fmt.Fprintf(w, "adaptive: signal=%.3f level=%s sources=%d resources=%d samples=%d dropped=%d source-blocks=%d raises=%d lowers=%d\n",
+				as.Signal, as.Level, as.Sources, as.Resources,
+				as.Samples, as.Dropped, as.SourceBlocks, as.Raises, as.Lowers)
+		}
 		if evalInj.Spec().Active() || notifyInj.Spec().Active() {
 			es, nsI := evalInj.Stats(), notifyInj.Stats()
 			fmt.Fprintf(w, "fault drill: evaluators[%s] hangs=%d panics=%d errors=%d latencies=%d; notifier[%s] hangs=%d panics=%d errors=%d latencies=%d\n",
@@ -600,6 +637,7 @@ func buildDeployment(o options) (*deployment, error) {
 			Persist:  persist,
 			Reloader: reloader,
 			Cluster:  node,
+			Scorer:   scorer,
 		})
 		metricsH = gaahttp.MetricsHandler(reg)
 	}
@@ -657,6 +695,9 @@ func buildDeployment(o options) (*deployment, error) {
 		close: func() {
 			if node != nil {
 				node.Stop()
+			}
+			if scorer != nil {
+				scorer.Close() // drains before the store goes away
 			}
 			corrCancel()
 			sub.Cancel()

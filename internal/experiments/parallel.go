@@ -19,6 +19,7 @@ import (
 	"gaaapi/internal/groups"
 	"gaaapi/internal/httpd"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/workload"
 )
 
@@ -106,16 +107,22 @@ func parallelScenarios() []parallelScenario {
 	return []parallelScenario{
 		// The E4 shape: the access-control hook against file-shaped
 		// (re-translating) sources with the composed-policy cache on.
+		// The adaptive scorer is wired in async mode (the production
+		// -adaptive shape), so the measured path carries the full
+		// detector feed — the bench guard thereby pins that enabling
+		// detection keeps the cached path inside the envelope.
 		{name: "guard-cached", ops: 50000, build: func(opts Options) (func() func() error, func(), error) {
 			api := gaa.New(gaa.WithPolicyCache(64))
 			conditions.Register(api, conditions.Deps{
 				Threat: ids.NewManager(ids.Low),
 				Groups: groups.NewStore(),
 			})
+			scorer := adaptive.New(adaptive.Defaults(), nil, nil)
 			guard := gaahttp.New(gaahttp.Config{
 				API:    api,
 				System: []gaa.PolicySource{&parsingSource{text: Policy71System}},
 				Local:  []gaa.PolicySource{&parsingSource{text: Policy72LocalNoNotify}},
+				Scorer: scorer,
 			})
 			rec := httpd.NewRequestRec(workload.Legit(1, opts.Seed)[0].HTTPRequest(), nil, time.Now())
 			return func() func() error {
@@ -123,7 +130,7 @@ func parallelScenarios() []parallelScenario {
 					guard.Check(rec)
 					return nil
 				}
-			}, func() {}, nil
+			}, func() { scorer.Close() }, nil
 		}},
 		// guard-cached without the composed-policy cache: every check
 		// re-retrieves and re-composes the policy from stable in-memory
@@ -144,10 +151,12 @@ func parallelScenarios() []parallelScenario {
 			if err := loc.AddPolicy("*", Policy72LocalNoNotify); err != nil {
 				return nil, nil, err
 			}
+			scorer := adaptive.New(adaptive.Defaults(), nil, nil)
 			guard := gaahttp.New(gaahttp.Config{
 				API:    api,
 				System: []gaa.PolicySource{sys},
 				Local:  []gaa.PolicySource{loc},
+				Scorer: scorer,
 			})
 			rec := httpd.NewRequestRec(workload.Legit(1, opts.Seed)[0].HTTPRequest(), nil, time.Now())
 			return func() func() error {
@@ -155,7 +164,7 @@ func parallelScenarios() []parallelScenario {
 					guard.Check(rec)
 					return nil
 				}
-			}, func() {}, nil
+			}, func() { scorer.Close() }, nil
 		}},
 		// The core three-phase entry point alone: a trace-disabled grant
 		// on a cached policy through CheckAuthorizationInto, each worker

@@ -19,6 +19,7 @@ import (
 	"gaaapi/internal/gaa"
 	"gaaapi/internal/httpd"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/ids/adaptive"
 )
 
 // Config assembles a Guard.
@@ -46,6 +47,11 @@ type Config struct {
 	// Anomaly, when non-nil, is trained on granted requests and
 	// consulted for unusual-behaviour reports.
 	Anomaly *ids.Detector
+	// Scorer, when non-nil, receives one sample per authorization
+	// decision — the self-adaptive threat-scoring feed. Unlike the bus
+	// reports (only notable requests), the scorer sees every decision,
+	// which is what its rate and error-ratio estimators need.
+	Scorer *adaptive.Engine
 	// Audit, when non-nil, records every authorization decision.
 	Audit audit.Logger
 
@@ -227,96 +233,137 @@ func translate(ans *gaa.Answer) httpd.AccessStatus {
 }
 
 // report publishes the section 3 report classes to the IDS bus and
-// feeds the anomaly profiles.
+// feeds the anomaly profiles and the adaptive scorer.
 func (g *Guard) report(rec *httpd.RequestRec, ans *gaa.Answer) {
 	principal := rec.User
 	if principal == "" {
 		principal = rec.ClientIP
 	}
+	if g.cfg.Bus == nil && g.cfg.Scorer == nil {
+		// No consumer for the report classes: keep only the profile
+		// training (the pre-existing bus-less behaviour).
+		if g.cfg.Anomaly != nil && ans.Decision == gaa.Yes {
+			g.cfg.Anomaly.Train(principal, rec.Path, rec.InputLength)
+		}
+		return
+	}
 
-	if g.cfg.Bus != nil {
-		base := ids.Report{
-			Time:     rec.Time,
-			Source:   g.cfg.Authority,
-			ClientIP: rec.ClientIP,
-			User:     rec.User,
-			Object:   rec.Object(),
+	// worst tracks the highest severity among the threat reports this
+	// request triggered; the adaptive scorer receives it with the
+	// sample (legitimate-pattern reports do not count — they are
+	// profile-building material, not suspicion). The checks run even
+	// without a bus so the scorer feed does not depend on bus wiring.
+	var worst ids.Severity
+	observe := func(sev ids.Severity) {
+		if sev > worst {
+			worst = sev
 		}
-		// 1. Ill-formed requests.
-		if g.illFormed(rec) {
-			r := base
-			r.Kind = ids.IllFormedRequest
-			r.Severity = ids.SevMedium
-			r.Confidence = 0.7
-			r.Info = "malformed request line or excessive headers"
+	}
+
+	base := ids.Report{
+		Time:     rec.Time,
+		Source:   g.cfg.Authority,
+		ClientIP: rec.ClientIP,
+		User:     rec.User,
+		Object:   rec.Object(),
+	}
+	publish := func(r ids.Report) {
+		if g.cfg.Bus != nil {
 			g.cfg.Bus.Publish(r)
 		}
-		// 2. Abnormally large parameters.
-		if rec.InputLength > g.cfg.AbnormalInputLength {
-			r := base
-			r.Kind = ids.AbnormalParameters
-			r.Severity = ids.SevMedium
-			r.Confidence = 0.6
-			r.Info = "operation input length " + strconv.Itoa(rec.InputLength)
-			g.cfg.Bus.Publish(r)
-		}
-		switch ans.Decision {
-		case gaa.No:
-			// 5. Detected application-level attacks, with threat
-			// characteristics from the signature database.
-			if g.cfg.Signatures != nil {
-				if hits := g.cfg.Signatures.Match(rec.URI); len(hits) > 0 {
-					r := base
-					r.Kind = ids.DetectedAttack
-					r.Signature = hits[0].Name
-					r.Severity = hits[0].Severity
-					r.Confidence = 0.9
-					r.Info = hits[0].Kind
-					r.Recommendation = hits[0].Recommendation
-					if g.cfg.Network != nil {
-						if spoofed, conf := g.cfg.Network.SpoofIndication(rec.ClientIP); spoofed {
-							r.Recommendation = "do not blacklist: source address suspected spoofed"
-							r.Confidence *= 1 - conf
-						}
+	}
+	// 1. Ill-formed requests.
+	if g.illFormed(rec) {
+		r := base
+		r.Kind = ids.IllFormedRequest
+		r.Severity = ids.SevMedium
+		r.Confidence = 0.7
+		r.Info = "malformed request line or excessive headers"
+		observe(r.Severity)
+		publish(r)
+	}
+	// 2. Abnormally large parameters.
+	if rec.InputLength > g.cfg.AbnormalInputLength {
+		r := base
+		r.Kind = ids.AbnormalParameters
+		r.Severity = ids.SevMedium
+		r.Confidence = 0.6
+		r.Info = "operation input length " + strconv.Itoa(rec.InputLength)
+		observe(r.Severity)
+		publish(r)
+	}
+	switch ans.Decision {
+	case gaa.No:
+		// 5. Detected application-level attacks, with threat
+		// characteristics from the signature database.
+		if g.cfg.Signatures != nil {
+			if hits := g.cfg.Signatures.Match(rec.URI); len(hits) > 0 {
+				r := base
+				r.Kind = ids.DetectedAttack
+				r.Signature = hits[0].Name
+				r.Severity = hits[0].Severity
+				r.Confidence = 0.9
+				r.Info = hits[0].Kind
+				r.Recommendation = hits[0].Recommendation
+				if g.cfg.Network != nil {
+					if spoofed, conf := g.cfg.Network.SpoofIndication(rec.ClientIP); spoofed {
+						r.Recommendation = "do not blacklist: source address suspected spoofed"
+						r.Confidence *= 1 - conf
 					}
-					g.cfg.Bus.Publish(r)
 				}
+				observe(r.Severity)
+				publish(r)
 			}
-			// 3. Access denials to sensitive objects.
-			for _, pat := range g.cfg.SensitiveObjects {
-				if eacl.Glob(pat, rec.Object()) {
-					r := base
-					r.Kind = ids.SensitiveAccessDenial
-					r.Severity = ids.SevMedium
-					r.Confidence = 0.8
-					r.Info = "denied access to sensitive object"
-					g.cfg.Bus.Publish(r)
-					break
-				}
-			}
-		case gaa.Yes:
-			// 6. Unusual (but authorized) behaviour per the anomaly
-			// profiles; 7. legitimate patterns for profile building.
-			if g.cfg.Anomaly != nil && g.cfg.Anomaly.Unusual(principal, rec.Path, rec.InputLength) {
+		}
+		// 3. Access denials to sensitive objects.
+		for _, pat := range g.cfg.SensitiveObjects {
+			if eacl.Glob(pat, rec.Object()) {
 				r := base
-				r.Kind = ids.UnusualBehavior
+				r.Kind = ids.SensitiveAccessDenial
 				r.Severity = ids.SevMedium
-				r.Confidence = 0.5
-				r.Info = "request deviates from trained profile"
-				g.cfg.Bus.Publish(r)
-			} else {
-				r := base
-				r.Kind = ids.LegitimatePattern
-				r.Severity = ids.SevInfo
-				r.Confidence = 0.5
-				g.cfg.Bus.Publish(r)
+				r.Confidence = 0.8
+				r.Info = "denied access to sensitive object"
+				observe(r.Severity)
+				publish(r)
+				break
 			}
+		}
+	case gaa.Yes:
+		// 6. Unusual (but authorized) behaviour per the anomaly
+		// profiles; 7. legitimate patterns for profile building.
+		if g.cfg.Anomaly != nil && g.cfg.Anomaly.Unusual(principal, rec.Path, rec.InputLength) {
+			r := base
+			r.Kind = ids.UnusualBehavior
+			r.Severity = ids.SevMedium
+			r.Confidence = 0.5
+			r.Info = "request deviates from trained profile"
+			observe(r.Severity)
+			publish(r)
+		} else if g.cfg.Bus != nil {
+			r := base
+			r.Kind = ids.LegitimatePattern
+			r.Severity = ids.SevInfo
+			r.Confidence = 0.5
+			g.cfg.Bus.Publish(r)
 		}
 	}
 
 	// Train profiles on granted traffic regardless of bus wiring.
 	if g.cfg.Anomaly != nil && ans.Decision == gaa.Yes {
 		g.cfg.Anomaly.Train(principal, rec.Path, rec.InputLength)
+	}
+
+	if g.cfg.Scorer != nil {
+		g.cfg.Scorer.ObserveRequest(adaptive.Sample{
+			Time:     rec.Time,
+			Source:   rec.ClientIP,
+			User:     rec.User,
+			Path:     rec.Path,
+			Query:    rec.Query,
+			InputLen: rec.InputLength,
+			Denied:   ans.Decision == gaa.No,
+			Severity: worst,
+		})
 	}
 }
 

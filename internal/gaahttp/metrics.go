@@ -10,6 +10,7 @@ import (
 	"gaaapi/internal/cluster"
 	"gaaapi/internal/conditions"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/metrics"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
@@ -70,6 +71,16 @@ const (
 
 	MetricHTTPRequests = "gaa_http_requests_total"
 	MetricHTTPDuration = "gaa_http_request_duration_seconds"
+
+	MetricAdaptiveSignal       = "gaa_adaptive_signal"
+	MetricAdaptiveLevel        = "gaa_adaptive_level"
+	MetricAdaptiveSources      = "gaa_adaptive_sources"
+	MetricAdaptiveResources    = "gaa_adaptive_resources"
+	MetricAdaptiveSamples      = "gaa_adaptive_samples_total"
+	MetricAdaptiveDropped      = "gaa_adaptive_samples_dropped_total"
+	MetricAdaptiveSourceBlocks = "gaa_adaptive_source_blocks_total"
+	MetricAdaptiveRaises       = "gaa_adaptive_raises_total"
+	MetricAdaptiveLowers       = "gaa_adaptive_lowers_total"
 )
 
 // Components names the stack pieces whose existing counters are scraped
@@ -84,6 +95,7 @@ type Components struct {
 	Persist  *statestore.Adaptive
 	Reloader *Reloader
 	Cluster  *cluster.Node
+	Scorer   *adaptive.Engine
 }
 
 // RegisterComponentMetrics wires the adaptive substrate into reg using
@@ -219,6 +231,38 @@ func RegisterComponentMetrics(reg *metrics.Registry, c Components) {
 		reg.GaugeFunc(MetricClusterLogSeq,
 			"Replication log head sequence (locally originated mutations).",
 			func() float64 { return float64(cl.Stats().Seq) })
+	}
+	if sc := c.Scorer; sc != nil {
+		reg.GaugeFunc(MetricAdaptiveSignal,
+			"Smoothed global anomaly signal driving the adaptive threat level.",
+			func() float64 { return sc.Stats().Signal })
+		reg.GaugeFunc(MetricAdaptiveLevel,
+			"Adaptive engine's own hysteresis level (1=low, 2=medium, 3=high).",
+			func() float64 { return float64(sc.Stats().Level) })
+		reg.GaugeFunc(MetricAdaptiveSources,
+			"Live per-source behaviour profiles.",
+			func() float64 { return float64(sc.Stats().Sources) })
+		reg.GaugeFunc(MetricAdaptiveResources,
+			"Live per-resource request-shape profiles.",
+			func() float64 { return float64(sc.Stats().Resources) })
+		for _, f := range []struct {
+			name, help string
+			fn         func(adaptive.Stats) uint64
+		}{
+			{MetricAdaptiveSamples, "Authorization decisions scored by the adaptive engine.",
+				func(s adaptive.Stats) uint64 { return s.Samples }},
+			{MetricAdaptiveDropped, "Samples dropped because the async queue was full.",
+				func(s adaptive.Stats) uint64 { return s.Dropped }},
+			{MetricAdaptiveSourceBlocks, "Sources blocked on their per-source anomaly score.",
+				func(s adaptive.Stats) uint64 { return s.SourceBlocks }},
+			{MetricAdaptiveRaises, "Adaptive threat-level raises.",
+				func(s adaptive.Stats) uint64 { return s.Raises }},
+			{MetricAdaptiveLowers, "Adaptive threat-level lowers (dwell-gated).",
+				func(s adaptive.Stats) uint64 { return s.Lowers }},
+		} {
+			f := f
+			reg.CounterFunc(f.name, f.help, func() uint64 { return f.fn(sc.Stats()) })
+		}
 	}
 	if rl := c.Reloader; rl != nil {
 		for _, f := range []struct {

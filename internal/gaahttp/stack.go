@@ -13,6 +13,7 @@ import (
 	"gaaapi/internal/groups"
 	"gaaapi/internal/httpd"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/metrics"
 	"gaaapi/internal/netblock"
 	"gaaapi/internal/notify"
@@ -91,6 +92,13 @@ type StackConfig struct {
 	// (RegisterComponentMetrics). Serve it with MetricsHandler.
 	Metrics bool
 
+	// Adaptive, when non-nil, enables the self-adaptive threat-scoring
+	// engine: the guard feeds it every authorization decision, it
+	// drives the threat manager through its hysteresis state machine,
+	// blocks hot sources, and its score/profile records persist and
+	// replicate with the rest of the adaptive state.
+	Adaptive *adaptive.Config
+
 	// NodeID enables cluster mode: the node replicates its adaptive
 	// state to Peers and accepts pushes at the replicate endpoint
 	// (Stack.Cluster.Handler). Works with or without StateDir.
@@ -122,6 +130,7 @@ type Stack struct {
 	Reliable *notify.Reliable
 	Audit    *audit.Ring
 	Network  *ids.StaticSpoofList
+	Scorer   *adaptive.Engine
 	Values   *gaa.Values
 	System   *gaa.MemorySource
 	Local    *gaa.MemorySource
@@ -174,6 +183,12 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		st.Values.Set(name, value)
 	}
 
+	// The adaptive scorer exists before statestore.Attach so restore
+	// and journaling cover its score/profile records.
+	if cfg.Adaptive != nil {
+		st.Scorer = adaptive.New(*cfg.Adaptive, st.Threat, st.Blocks)
+	}
+
 	// Crash-safe adaptive state: restore what a previous process
 	// journaled, then journal every further mutation. Must happen
 	// before any traffic mutates the components.
@@ -196,6 +211,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			Threat:   st.Threat,
 			Counters: st.Counters,
 			Groups:   st.Groups,
+			Scorer:   st.Scorer,
 			Clock:    clock,
 		})
 		if err != nil {
@@ -215,6 +231,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 				Threat:   st.Threat,
 				Counters: st.Counters,
 				Groups:   st.Groups,
+				Scorer:   st.Scorer,
 				Clock:    clock,
 			})
 			if err != nil {
@@ -320,6 +337,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Signatures:       st.Sigs,
 		Network:          st.Network,
 		Anomaly:          st.Anomaly,
+		Scorer:           st.Scorer,
 		Audit:            st.Audit,
 		SensitiveObjects: cfg.SensitiveObjects,
 		Health:           st.Reloader,
@@ -355,6 +373,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			Persist:  st.Persist,
 			Reloader: st.Reloader,
 			Cluster:  st.Cluster,
+			Scorer:   st.Scorer,
 		})
 	}
 	return st, nil
@@ -375,6 +394,9 @@ func (s *Stack) ReloadPolicies(system string, locals map[string]string) ReloadRe
 func (s *Stack) Close() {
 	if s.Cluster != nil {
 		s.Cluster.Stop()
+	}
+	if s.Scorer != nil {
+		s.Scorer.Close() // drains before the store goes away
 	}
 	if s.async != nil {
 		s.async.Close()

@@ -1,7 +1,6 @@
 package ids
 
 import (
-	"math"
 	"sync"
 )
 
@@ -30,28 +29,17 @@ func DefaultAnomalyConfig() AnomalyConfig {
 
 // profile accumulates per-principal behaviour: the set of paths the
 // principal accesses and running moments of the request input length
-// (Welford's algorithm).
+// (the shared Welford core).
 type profile struct {
-	n       int
-	paths   map[string]int
-	meanLen float64
-	m2Len   float64
+	n     int
+	paths map[string]int
+	len   Welford
 }
 
 func (p *profile) observe(path string, inputLen int) {
 	p.n++
 	p.paths[path]++
-	x := float64(inputLen)
-	delta := x - p.meanLen
-	p.meanLen += delta / float64(p.n)
-	p.m2Len += delta * (x - p.meanLen)
-}
-
-func (p *profile) stddevLen() float64 {
-	if p.n < 2 {
-		return 0
-	}
-	return math.Sqrt(p.m2Len / float64(p.n-1))
+	p.len.Observe(float64(inputLen))
 }
 
 // Detector implements the paper's section 9 future work: "a simple
@@ -112,14 +100,7 @@ func (d *Detector) Score(principal, path string, inputLen int) float64 {
 	if p.paths[path] == 0 {
 		score += d.cfg.NewPathWeight
 	}
-	sd := p.stddevLen()
-	if sd > 0 {
-		z := math.Abs(float64(inputLen)-p.meanLen) / sd
-		score += math.Min(z, d.cfg.LengthZMax)
-	} else if float64(inputLen) != p.meanLen {
-		// Constant training lengths: any deviation is fully surprising.
-		score += d.cfg.LengthZMax
-	}
+	score += p.len.Z(float64(inputLen), d.cfg.LengthZMax)
 	return score
 }
 

@@ -126,12 +126,12 @@ func TestProfileMomentsMatchNaive(t *testing.T) {
 			ss += d * d
 		}
 		naiveVar := ss / float64(len(raw)-1)
-		gotSD := p.stddevLen()
+		gotSD := p.len.Stddev()
 		wantSD := 0.0
 		if naiveVar > 0 {
 			wantSD = sqrtApprox(naiveVar)
 		}
-		return approxEqual(p.meanLen, mean, 1e-9) && approxEqual(gotSD*gotSD, wantSD*wantSD, 1e-6)
+		return approxEqual(p.len.Mean, mean, 1e-9) && approxEqual(gotSD*gotSD, wantSD*wantSD, 1e-6)
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Errorf("Welford property: %v", err)

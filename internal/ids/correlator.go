@@ -38,14 +38,47 @@ func DefaultCorrelatorConfig() CorrelatorConfig {
 // Correlator consumes GAA-API reports and adapts the system threat
 // level — the host-IDS role of paper sections 3 and 7.1. It is safe
 // for concurrent use.
+//
+// Memory is bounded: escalation only asks whether the K most recent
+// qualifying events all fall within the window, so each severity tier
+// keeps exactly its threshold's worth of timestamps in a fixed ring —
+// sustained traffic cannot grow the working set (it used to retain
+// every event timestamp inside the window).
 type Correlator struct {
 	cfg     CorrelatorConfig
 	mgr     *Manager
 	clock   func() time.Time
 	mu      sync.Mutex
-	medium  []time.Time // medium-or-worse event times within window
-	high    []time.Time // high-severity event times within window
+	medium  eventRing // last MediumAfter medium-or-worse event times
+	high    eventRing // last HighAfter high-severity event times
 	lastHit time.Time
+}
+
+// eventRing holds the most recent K event timestamps in place.
+type eventRing struct {
+	buf  []time.Time
+	head int // next write position
+	n    int // filled entries (<= len(buf))
+}
+
+// add records one event time, overwriting the oldest when full.
+func (r *eventRing) add(t time.Time) {
+	r.buf[r.head] = t
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// full reports whether the ring holds its capacity of events with the
+// oldest retained event at or after cutoff — i.e. at least K
+// qualifying events landed within the window.
+func (r *eventRing) full(cutoff time.Time) bool {
+	if r.n < len(r.buf) {
+		return false
+	}
+	oldest := r.buf[r.head] // next overwrite slot == oldest when full
+	return !oldest.Before(cutoff)
 }
 
 // NewCorrelator returns a correlator driving mgr.
@@ -63,7 +96,13 @@ func NewCorrelator(mgr *Manager, cfg CorrelatorConfig) *Correlator {
 	if cfg.HighAfter <= 0 {
 		cfg.HighAfter = 1
 	}
-	return &Correlator{cfg: cfg, mgr: mgr, clock: clock}
+	return &Correlator{
+		cfg:    cfg,
+		mgr:    mgr,
+		clock:  clock,
+		medium: eventRing{buf: make([]time.Time, cfg.MediumAfter)},
+		high:   eventRing{buf: make([]time.Time, cfg.HighAfter)},
+	}
 }
 
 // Observe processes one report synchronously and returns the threat
@@ -78,18 +117,19 @@ func (c *Correlator) Observe(r Report) Level {
 	c.lastHit = now
 	cutoff := now.Add(-c.cfg.Window)
 	if r.Severity >= SevMedium {
-		c.medium = trimBefore(append(c.medium, now), cutoff)
+		c.medium.add(now)
 	}
 	if r.Severity >= SevHigh {
-		c.high = trimBefore(append(c.high, now), cutoff)
+		c.high.add(now)
 	}
-	nMedium, nHigh := len(c.medium), len(c.high)
+	escalateHigh := c.high.full(cutoff)
+	escalateMedium := c.medium.full(cutoff)
 	c.mu.Unlock()
 
 	switch {
-	case nHigh >= c.cfg.HighAfter:
+	case escalateHigh:
 		c.mgr.Escalate(High)
-	case nMedium >= c.cfg.MediumAfter:
+	case escalateMedium:
 		c.mgr.Escalate(Medium)
 	}
 	return c.mgr.Level()
@@ -141,14 +181,4 @@ func isThreatening(k ReportKind) bool {
 	default:
 		return false
 	}
-}
-
-// trimBefore drops timestamps before cutoff (the slice is in
-// chronological order).
-func trimBefore(ts []time.Time, cutoff time.Time) []time.Time {
-	i := 0
-	for i < len(ts) && ts[i].Before(cutoff) {
-		i++
-	}
-	return append(ts[:0], ts[i:]...)
 }

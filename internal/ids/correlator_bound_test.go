@@ -1,0 +1,74 @@
+package ids
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCorrelatorBoundedMemory is the regression test for the
+// unbounded-slice bug: under sustained threatening traffic the old
+// implementation retained every event timestamp inside the window
+// (rate x window timestamps); the rings must stay pinned at exactly
+// the escalation thresholds however much traffic flows.
+func TestCorrelatorBoundedMemory(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	cfg := CorrelatorConfig{
+		Window:      time.Minute,
+		MediumAfter: 5,
+		HighAfter:   2,
+		Clock:       clock,
+	}
+	c := NewCorrelator(NewManager(Low), cfg)
+
+	// 200k events at 1ms spacing: all within the window at all times.
+	for i := 0; i < 200_000; i++ {
+		now = now.Add(time.Millisecond)
+		sev := SevMedium
+		if i%3 == 0 {
+			sev = SevHigh
+		}
+		c.Observe(Report{Kind: DetectedAttack, Severity: sev})
+	}
+
+	c.mu.Lock()
+	mediumCap, highCap := len(c.medium.buf), len(c.high.buf)
+	c.mu.Unlock()
+	if mediumCap != cfg.MediumAfter {
+		t.Fatalf("medium ring holds %d timestamps, want exactly %d", mediumCap, cfg.MediumAfter)
+	}
+	if highCap != cfg.HighAfter {
+		t.Fatalf("high ring holds %d timestamps, want exactly %d", highCap, cfg.HighAfter)
+	}
+	if got := c.mgr.Level(); got != High {
+		t.Fatalf("sustained attack traffic left level %s, want high", got)
+	}
+}
+
+// TestCorrelatorRingSemanticsMatchWindowCount proves the ring
+// formulation is equivalent to counting events in the window: the
+// K-th most recent event being inside the window IS count >= K.
+func TestCorrelatorRingSemanticsMatchWindowCount(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	cfg := CorrelatorConfig{Window: time.Minute, MediumAfter: 3, HighAfter: 99, Clock: clock}
+	c := NewCorrelator(NewManager(Low), cfg)
+
+	r := Report{Kind: ThresholdViolation, Severity: SevMedium}
+	// Two events, then a gap that pushes the first out of the window:
+	// the third event must NOT escalate (only 2 in window) ...
+	c.Observe(r)
+	now = now.Add(10 * time.Second)
+	c.Observe(r)
+	now = now.Add(55 * time.Second)
+	if got := c.Observe(r); got != Low {
+		t.Fatalf("2 events in window escalated to %s", got)
+	}
+	// ... but two more quick events make 3-in-window and escalate.
+	now = now.Add(time.Second)
+	c.Observe(r)
+	now = now.Add(time.Second)
+	if got := c.Observe(r); got != Medium {
+		t.Fatalf("3 events in window left level %s, want medium", got)
+	}
+}

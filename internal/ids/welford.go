@@ -1,0 +1,47 @@
+package ids
+
+import "math"
+
+// Welford is the online mean/variance accumulator (Welford's
+// algorithm) shared by the anomaly detector's per-principal profiles
+// and the adaptive engine's per-resource parameter-shape sketches. It
+// is a plain value — callers provide their own locking.
+type Welford struct {
+	// N is the number of observations.
+	N int `json:"n"`
+	// Mean is the running mean.
+	Mean float64 `json:"mean"`
+	// M2 is the running sum of squared deviations.
+	M2 float64 `json:"m2"`
+}
+
+// Observe folds one observation into the moments.
+func (w *Welford) Observe(x float64) {
+	w.N++
+	delta := x - w.Mean
+	w.Mean += delta / float64(w.N)
+	w.M2 += delta * (x - w.Mean)
+}
+
+// Stddev returns the sample standard deviation (0 below two
+// observations).
+func (w *Welford) Stddev() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return math.Sqrt(w.M2 / float64(w.N-1))
+}
+
+// Z returns |x-mean|/stddev capped at max. A degenerate profile
+// (stddev 0) scores max for any deviation from the mean — constant
+// training data makes every deviation fully surprising.
+func (w *Welford) Z(x, max float64) float64 {
+	sd := w.Stddev()
+	if sd > 0 {
+		return math.Min(math.Abs(x-w.Mean)/sd, max)
+	}
+	if x != w.Mean {
+		return max
+	}
+	return 0
+}

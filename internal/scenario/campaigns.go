@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/workload"
 )
 
@@ -632,6 +633,227 @@ pos_access_right apache *
 	}
 }
 
+// adaptivePolicy is the deliberately dumb deployment the adaptive
+// campaigns run against: the admin tree is off limits and everything
+// else is open. No counters, no thresholds, no signature rules —
+// catching the attacker is entirely the adaptive scorer's job.
+const adaptivePolicy = `
+neg_access_right apache GET /admin/*
+pos_access_right apache *
+`
+
+// adaptiveScan emits n probe requests against the denied admin tree
+// from one source, 50ms apart — fast, high-severity (the phf pattern
+// trips the signature DB), and all policy-denied.
+func adaptiveScan(ip, class string, n int) []workload.Request {
+	out := make([]workload.Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, workload.Request{
+			Method:   "GET",
+			Target:   fmt.Sprintf("/admin/phf-probe-%d?cmd=%%3Bcat%%20%%2Fetc%%2Fpasswd", i),
+			ClientIP: ip,
+			Attack:   class,
+			Delay:    50 * time.Millisecond,
+		})
+	}
+	return out
+}
+
+// adaptiveRamp: a source drifts from normal browsing into a scan of a
+// denied area. No threshold policy covers this traffic — the adaptive
+// engine learns the site's baseline, scores the drifting source and
+// firewalls it per-source while the global threat level never leaves
+// low. Detection without a signature or a hand-tuned counter.
+func adaptiveRamp() Campaign {
+	acfg := adaptive.Defaults()
+	acfg.HalfLife = 10 * time.Second
+	acfg.MinSamples = 5
+	// Per-source enforcement must lead global escalation: the block
+	// fires while the fleet-level signal is still below MediumRaise.
+	acfg.BlockScore = 1.1
+	const attacker = "203.0.113.99"
+	return Campaign{
+		Name:  "adaptive-ramp",
+		Title: "Drifting source caught by the adaptive scorer",
+		Description: "A source browses normally, then ramps into a scan of the denied admin " +
+			"tree. No threshold or signature policy matches it; the adaptive per-source score " +
+			"crosses the block floor within a handful of probes and the source is firewalled — " +
+			"while the global threat level stays low throughout (surgical, not site-wide, " +
+			"response).",
+		Stack: StackSpec{
+			LocalPolicies: map[string]string{"*": adaptivePolicy},
+			DocRoot:       workload.DocRoot(),
+			Adaptive:      &acfg,
+		},
+		Phases: []Phase{
+			{
+				Name:    "baseline",
+				Comment: "a browsing crowd trains the per-resource profiles",
+				Gap:     2 * time.Second,
+				Traffic: func(seed int64) []workload.Request {
+					return workload.Legit(30, seed)
+				},
+				Checkpoint: Checkpoint{
+					Threat:     "low",
+					NotBlocked: []string{attacker},
+					Classes:    []ClassExpect{{Class: "", Status: 200, All: true}},
+				},
+			},
+			{
+				Name:    "drift",
+				Comment: "the future attacker browses like anyone else",
+				Gap:     2 * time.Second,
+				Traffic: func(seed int64) []workload.Request {
+					drifting := workload.Relabel(workload.LegitFrom(attacker, 6, seed), "drifting-source")
+					return workload.Interleave(seed+1, drifting, workload.Legit(10, seed+2))
+				},
+				Checkpoint: Checkpoint{
+					Threat:     "low",
+					NotBlocked: []string{attacker},
+					Classes: []ClassExpect{
+						{Class: "drifting-source", Status: 200, All: true},
+						{Class: "", Status: 200, All: true},
+					},
+				},
+			},
+			{
+				Name:    "scan",
+				Comment: "the source turns: 30 admin probes at 20/s, crowd still browsing",
+				Traffic: func(seed int64) []workload.Request {
+					return workload.Interleave(seed,
+						adaptiveScan(attacker, "adaptive-scan", 30),
+						workload.Legit(8, seed+1))
+				},
+				Checkpoint: Checkpoint{
+					// The tentpole assertion: per-source block earned
+					// while the global level never moved.
+					Threat:  "low",
+					Blocked: []string{attacker},
+					Classes: []ClassExpect{
+						{Class: "adaptive-scan", Status: 403, All: true},
+						{Class: "", Status: 200, All: true},
+					},
+				},
+			},
+			{
+				Name:    "aftermath",
+				Comment: "the block holds; innocent-looking retries die at the firewall",
+				Advance: time.Minute,
+				Traffic: func(seed int64) []workload.Request {
+					retries := workload.Relabel(workload.LegitFrom(attacker, 3, seed), "blocked-retry")
+					return workload.Interleave(seed+1, retries, workload.Legit(10, seed+2))
+				},
+				Checkpoint: Checkpoint{
+					Threat:  "low",
+					Blocked: []string{attacker},
+					Classes: []ClassExpect{
+						{Class: "blocked-retry", Status: 403, All: true},
+						{Class: "", Status: 200, All: true},
+					},
+				},
+			},
+		},
+	}
+}
+
+// adaptiveFlap: oscillating attack load must not flap the threat
+// level. Bursts raise it once; the hysteresis dwell pins it through
+// the quiet valleys and the second burst, and only a long sustained
+// calm lowers it again — exactly two transitions across four swings.
+func adaptiveFlap() Campaign {
+	acfg := adaptive.Defaults()
+	acfg.HalfLife = 10 * time.Second
+	acfg.MinSamples = 5
+	// This drill exercises the low<->medium hysteresis boundary only:
+	// per-source blocking and the high tier are pushed out of reach so
+	// every observed transition is the global signal's doing.
+	acfg.BlockScore = 100
+	acfg.HighRaise = 100
+	acfg.Dwell = 10 * time.Minute
+	return Campaign{
+		Name:  "adaptive-flap",
+		Title: "Oscillating load cannot flap the threat level",
+		Description: "Attack bursts alternate with quiet valleys. The first burst raises the " +
+			"level to medium; the valleys drop the signal below the lower threshold but the " +
+			"dwell time pins the level, so the second burst causes no second raise. After a " +
+			"15-minute calm the level steps back down — two transitions total, asserted with " +
+			"a transition-count cap in every phase.",
+		Stack: StackSpec{
+			LocalPolicies: map[string]string{"*": adaptivePolicy},
+			DocRoot:       workload.DocRoot(),
+			Adaptive:      &acfg,
+		},
+		Phases: []Phase{
+			{
+				Name:    "baseline",
+				Comment: "normal browsing; the level is low and has never moved",
+				Gap:     2 * time.Second,
+				Traffic: func(seed int64) []workload.Request {
+					return workload.Legit(20, seed)
+				},
+				Checkpoint: Checkpoint{
+					Threat:  "low",
+					Classes: []ClassExpect{{Class: "", Status: 200, All: true}},
+				},
+			},
+			{
+				Name:    "burst",
+				Comment: "a probe burst lifts the signal past the raise threshold",
+				Traffic: func(seed int64) []workload.Request {
+					return adaptiveScan("198.51.100.61", "flap-burst", 30)
+				},
+				Checkpoint: Checkpoint{
+					Threat:            "medium",
+					TransitionsAtMost: 1,
+					Classes:           []ClassExpect{{Class: "flap-burst", Status: 403, All: true}},
+				},
+			},
+			{
+				Name:    "valley",
+				Comment: "two quiet minutes: the signal collapses, the dwell pins the level",
+				Advance: 2 * time.Minute,
+				Gap:     2 * time.Second,
+				Traffic: func(seed int64) []workload.Request {
+					return workload.Legit(15, seed)
+				},
+				Checkpoint: Checkpoint{
+					// The hysteresis assertion: signal is below the
+					// lower threshold, yet no transition happened.
+					Threat:            "medium",
+					TransitionsAtMost: 1,
+					Classes:           []ClassExpect{{Class: "", Status: 200, All: true}},
+				},
+			},
+			{
+				Name:    "burst-again",
+				Comment: "a second burst from another source: still exactly one transition",
+				Traffic: func(seed int64) []workload.Request {
+					return adaptiveScan("198.51.100.62", "flap-burst", 30)
+				},
+				Checkpoint: Checkpoint{
+					Threat:            "medium",
+					TransitionsAtMost: 1,
+					Classes:           []ClassExpect{{Class: "flap-burst", Status: 403, All: true}},
+				},
+			},
+			{
+				Name:    "calm",
+				Comment: "fifteen quiet minutes outlast the dwell; the level steps down once",
+				Advance: 15 * time.Minute,
+				Gap:     2 * time.Second,
+				Traffic: func(seed int64) []workload.Request {
+					return workload.Legit(15, seed)
+				},
+				Checkpoint: Checkpoint{
+					Threat:            "low",
+					TransitionsAtMost: 2,
+					Classes:           []ClassExpect{{Class: "", Status: 200, All: true}},
+				},
+			},
+		},
+	}
+}
+
 // All returns the campaign catalog sorted by name.
 func All() []Campaign {
 	out := []Campaign{
@@ -641,6 +863,8 @@ func All() []Campaign {
 		flashCrowd(),
 		threatLadder(),
 		recoveryAfterBlock(),
+		adaptiveRamp(),
+		adaptiveFlap(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

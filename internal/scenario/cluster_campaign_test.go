@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"gaaapi/internal/ids"
+)
+
+// clusterize rewrites a single-stack campaign for a replicated fleet:
+// traffic-class expectations are dropped (round-robin shifts exactly
+// which request trips a threshold, so per-request statuses differ),
+// transition caps are dropped (each node climbs its own ladder), and
+// every phase instead requires the replication mesh to converge within
+// the SLO before its state checks run. What remains — threat level,
+// firewall blocks, blacklist membership, notification floors — must
+// hold against the MERGED fleet state, which is the whole point:
+// checkpoints written for one server read naturally against a
+// converged cluster.
+func clusterize(c Campaign) Campaign {
+	phases := make([]Phase, len(c.Phases))
+	copy(phases, c.Phases)
+	for i := range phases {
+		cp := phases[i].Checkpoint
+		cp.Classes = nil
+		cp.TransitionsAtMost = 0
+		cp.Converged = true
+		phases[i].Checkpoint = cp
+	}
+	c.Phases = phases
+	return c
+}
+
+// TestCampaignCatalogOnCluster runs the whole campaign catalog against
+// a two-node replicated fleet behind a round-robin load balancer. Every
+// phase carries a convergence checkpoint, so the replication SLO is a
+// first-class assertion: a mesh that fails to drain within 5 seconds
+// fails the campaign even if the state happens to look right.
+func TestCampaignCatalogOnCluster(t *testing.T) {
+	for _, c := range All() {
+		c := clusterize(c)
+		t.Run(c.Name, func(t *testing.T) {
+			ct, err := NewClusterTarget(c.Stack, 2)
+			if err != nil {
+				t.Fatalf("NewClusterTarget: %v", err)
+			}
+			defer ct.Close()
+			rep, err := Run(c, ct, Options{
+				Throttle:    2 * time.Millisecond,
+				ConvergeSLO: 5 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !rep.Passed {
+				for _, f := range rep.Failures {
+					t.Error(f)
+				}
+			}
+			// Convergence must have been asserted for real, not skipped.
+			for _, ph := range rep.Phases {
+				found := false
+				for _, ck := range ph.Checks {
+					if ck.Name == "converged" {
+						found = true
+						if ck.Skipped {
+							t.Errorf("phase %s: convergence check skipped on a cluster target", ph.Name)
+						}
+					}
+				}
+				if !found {
+					t.Errorf("phase %s: no convergence check", ph.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveRampClusterEnforcement is the cross-node acceptance
+// drill: adaptive-ramp runs against a two-node fleet, so each node
+// sees only half the attacker's probes. The replicated score events
+// must merge into a block that BOTH nodes enforce within the
+// convergence checkpoint — while neither node's threat level moves.
+func TestAdaptiveRampClusterEnforcement(t *testing.T) {
+	c := clusterize(adaptiveRamp())
+	ct, err := NewClusterTarget(c.Stack, 2)
+	if err != nil {
+		t.Fatalf("NewClusterTarget: %v", err)
+	}
+	defer ct.Close()
+	rep, err := Run(c, ct, Options{
+		Throttle:    2 * time.Millisecond,
+		ConvergeSLO: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Passed {
+		for _, f := range rep.Failures {
+			t.Error(f)
+		}
+	}
+	const attacker = "203.0.113.99"
+	for i, node := range ct.Nodes {
+		if !node.Blocks.Blocked(attacker) {
+			t.Errorf("node %d does not enforce the attacker block after convergence", i)
+		}
+		if lvl := node.Threat.Level(); lvl != ids.Low {
+			t.Errorf("node %d threat = %s, want low (per-source response only)", i, lvl)
+		}
+	}
+	// The block came from merged evidence, not any policy: both nodes
+	// must agree on the attacker's replicated score.
+	for i, node := range ct.Nodes {
+		if node.Scorer == nil {
+			t.Fatalf("node %d has no scorer", i)
+		}
+		if s := node.Scorer.SourceScore(attacker); s <= 0 {
+			t.Errorf("node %d never learned the attacker's score", i)
+		}
+	}
+}

@@ -26,6 +26,15 @@ type Options struct {
 	// Report.Timings (excluded from the canonical JSON so reports
 	// stay byte-deterministic). The bench harness sets it.
 	Timing bool
+	// Throttle inserts a real pause after every request. Cluster
+	// campaigns set a couple of milliseconds so the replication
+	// pushers (which run on real time) can drain between requests.
+	Throttle time.Duration
+	// ConvergeSLO bounds how long a Converged checkpoint may wait for
+	// the replication mesh to catch up (default 5s). Exceeding it
+	// fails the check — the replication SLO as a first-class
+	// assertion.
+	ConvergeSLO time.Duration
 }
 
 // CheckResult is one checkpoint assertion's outcome.
@@ -161,6 +170,9 @@ func Run(c Campaign, tgt Target, opts Options) (*Report, error) {
 			if opts.Timing {
 				lat = append(lat, time.Since(t0))
 			}
+			if opts.Throttle > 0 {
+				time.Sleep(opts.Throttle)
+			}
 			status := strconv.Itoa(x.Status)
 			pr.Statuses[status]++
 			byClass := pr.Classes[x.Class]
@@ -178,6 +190,11 @@ func Run(c Campaign, tgt Target, opts Options) (*Report, error) {
 			rep.Timings = append(rep.Timings, pr)
 		}
 
+		convState := ""
+		if ph.Checkpoint.Converged {
+			convState = awaitConvergence(tgt, opts.ConvergeSLO)
+		}
+
 		var cur Observation
 		if observable {
 			cur = obs.Observe()
@@ -188,7 +205,7 @@ func Run(c Campaign, tgt Target, opts Options) (*Report, error) {
 				pr.Decisions[dec] = n - prev.Decisions[dec]
 			}
 		}
-		pr.Checks = evalCheckpoint(ph.Checkpoint, pr, cur, observable)
+		pr.Checks = evalCheckpoint(ph.Checkpoint, pr, cur, observable, convState)
 		for _, cr := range pr.Checks {
 			rep.Checks++
 			if !cr.Passed && !cr.Skipped {
@@ -204,9 +221,33 @@ func Run(c Campaign, tgt Target, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// awaitConvergence polls the target's replication mesh until it has
+// fully caught up or the SLO expires. The returned state is a
+// deterministic string for the checkpoint: "converged",
+// "not converged", or "unobservable" for targets without a mesh.
+func awaitConvergence(tgt Target, slo time.Duration) string {
+	cv, ok := tgt.(Converger)
+	if !ok {
+		return "unobservable"
+	}
+	if slo <= 0 {
+		slo = 5 * time.Second
+	}
+	deadline := time.Now().Add(slo)
+	for {
+		if cv.Converged() {
+			return "converged"
+		}
+		if !time.Now().Before(deadline) {
+			return "not converged"
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // evalCheckpoint turns the declarative checkpoint into concrete
 // results against the phase's traffic and the observed state.
-func evalCheckpoint(cp Checkpoint, pr PhaseReport, obs Observation, observable bool) []CheckResult {
+func evalCheckpoint(cp Checkpoint, pr PhaseReport, obs Observation, observable bool, convState string) []CheckResult {
 	out := []CheckResult{}
 	check := func(name, want, got string, ok bool) {
 		out = append(out, CheckResult{Name: name, Want: want, Got: got, Passed: ok})
@@ -264,6 +305,19 @@ func evalCheckpoint(cp Checkpoint, pr PhaseReport, obs Observation, observable b
 	if cp.MailboxAtLeast > 0 {
 		stateCheck("notifications", fmt.Sprintf(">=%d", cp.MailboxAtLeast),
 			strconv.Itoa(obs.Mailbox), obs.Mailbox >= cp.MailboxAtLeast)
+	}
+	if cp.TransitionsAtMost > 0 {
+		stateCheck("transitions", fmt.Sprintf("<=%d", cp.TransitionsAtMost),
+			strconv.FormatUint(obs.Transitions, 10),
+			obs.Transitions <= uint64(cp.TransitionsAtMost))
+	}
+	if cp.Converged {
+		if convState == "unobservable" {
+			skip("converged", "replication converged within SLO")
+		} else {
+			check("converged", "replication converged within SLO",
+				convState, convState == "converged")
+		}
 	}
 
 	// Decision accounting: every request that passed the firewall must

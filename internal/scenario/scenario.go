@@ -12,6 +12,7 @@ package scenario
 import (
 	"time"
 
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/workload"
 )
 
@@ -25,6 +26,9 @@ type StackSpec struct {
 	Users         map[string]string
 	// RuntimeValues seeds '@name' policy values.
 	RuntimeValues map[string]string
+	// Adaptive enables the self-learning per-source scorer. The driver
+	// forces synchronous scoring so campaign runs stay deterministic.
+	Adaptive *adaptive.Config
 }
 
 // TrafficFunc generates one phase's request stream from the phase
@@ -70,6 +74,13 @@ type Checkpoint struct {
 	NotBlacklisted []string `json:"not_blacklisted,omitempty"`
 	// MailboxAtLeast is the minimum cumulative notification count.
 	MailboxAtLeast int `json:"mailbox_at_least,omitempty"`
+	// TransitionsAtMost caps the cumulative threat-level transition
+	// count — the anti-flapping assertion. Zero asserts nothing.
+	TransitionsAtMost int `json:"transitions_at_most,omitempty"`
+	// Converged requires the target's replication mesh to be fully
+	// acknowledged (within the driver's convergence SLO) before the
+	// state checks run. Skipped on targets that cannot report it.
+	Converged bool `json:"converged,omitempty"`
 	// Classes are per-traffic-class status expectations over this
 	// phase's exchanges.
 	Classes []ClassExpect `json:"classes,omitempty"`

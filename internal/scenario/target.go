@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gaaapi/internal/gaahttp"
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/workload"
 )
 
@@ -94,6 +95,14 @@ type Advancer interface {
 	Advance(d time.Duration)
 }
 
+// Converger reports whether the target's replication mesh has fully
+// caught up — the convergence-SLO hook for Checkpoint.Converged.
+// Single-node targets are trivially converged and need not implement
+// it; checkpoints then report the check as skipped.
+type Converger interface {
+	Converged() bool
+}
+
 // StackTarget drives a full in-process gaahttp stack on a simulated
 // clock — the deterministic way to run campaigns.
 type StackTarget struct {
@@ -113,11 +122,24 @@ func NewStackTarget(spec StackSpec) (*StackTarget, error) {
 		RuntimeValues: spec.RuntimeValues,
 		Clock:         clock.Now,
 		Metrics:       true,
+		Adaptive:      campaignAdaptive(spec),
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &StackTarget{Stack: st, Clock: clock}, nil
+}
+
+// campaignAdaptive prepares the spec's adaptive config for a campaign
+// stack: scoring runs synchronously so every checkpoint observes the
+// exact state the traffic so far implies, independent of scheduling.
+func campaignAdaptive(spec StackSpec) *adaptive.Config {
+	if spec.Adaptive == nil {
+		return nil
+	}
+	cfg := *spec.Adaptive
+	cfg.Synchronous = true
+	return &cfg
 }
 
 // Do serves the request straight through the server, no sockets.

@@ -9,6 +9,7 @@ import (
 	"gaaapi/internal/conditions"
 	"gaaapi/internal/groups"
 	"gaaapi/internal/ids"
+	"gaaapi/internal/ids/adaptive"
 	"gaaapi/internal/netblock"
 )
 
@@ -20,6 +21,8 @@ const (
 	KindThreat  = "threat"
 	KindCounter = "count"
 	KindGroup   = "group"
+	KindScore   = "score"
+	KindProfile = "profile"
 )
 
 // Components are the adaptive-state holders a store keeps durable. Any
@@ -35,16 +38,22 @@ type Components struct {
 	Counters *conditions.Counters
 	// Groups is the dynamic blacklist store ("BadGuys").
 	Groups *groups.Store
+	// Scorer is the self-adaptive threat-scoring engine; its per-source
+	// score events and resource profile checkpoints persist and
+	// replicate like the rest of the adaptive state.
+	Scorer *adaptive.Engine
 	// Clock overrides time.Now for expiry pruning (tests).
 	Clock func() time.Time
 }
 
 // stateSnapshot is the JSON shape of a compacted snapshot.
 type stateSnapshot struct {
-	Blocks   []netblock.Entry       `json:"blocks,omitempty"`
-	Threat   *threatState           `json:"threat,omitempty"`
-	Counters map[string][]time.Time `json:"counters,omitempty"`
-	Groups   map[string][]string    `json:"groups,omitempty"`
+	Blocks   []netblock.Entry             `json:"blocks,omitempty"`
+	Threat   *threatState                 `json:"threat,omitempty"`
+	Counters map[string][]time.Time       `json:"counters,omitempty"`
+	Groups   map[string][]string          `json:"groups,omitempty"`
+	Scores   []adaptive.ScoreEvent        `json:"scores,omitempty"`
+	Profiles []adaptive.ProfileCheckpoint `json:"profiles,omitempty"`
 }
 
 type threatState struct {
@@ -85,6 +94,10 @@ type RestoreSummary struct {
 	CounterEvents int `json:"counter_events"`
 	// GroupMembers is the number of restored group memberships.
 	GroupMembers int `json:"group_members"`
+	// Scores is the number of restored per-source score entries.
+	Scores int `json:"scores,omitempty"`
+	// Profiles is the number of restored resource profiles.
+	Profiles int `json:"profiles,omitempty"`
 }
 
 // Attach restores the store's recovered state into the components and
@@ -124,6 +137,12 @@ func Attach(store *Store, c Components) (*Adaptive, error) {
 	}
 	if c.Groups != nil {
 		c.Groups.SetJournal(func(ev groups.Event) { a.append(KindGroup, ev) })
+	}
+	if c.Scorer != nil {
+		c.Scorer.SetJournal(
+			func(ev adaptive.ScoreEvent) { a.append(KindScore, ev) },
+			func(cp adaptive.ProfileCheckpoint) { a.append(KindProfile, cp) },
+		)
 	}
 	if store != nil {
 		store.SetSnapshotFunc(a.snapshot)
@@ -210,6 +229,18 @@ func (a *Adaptive) applySnapshot(snap *stateSnapshot) {
 			}
 		}
 	}
+	if a.c.Scorer != nil {
+		for _, ev := range snap.Scores {
+			if a.c.Scorer.RestoreScore(ev) {
+				a.restored.Scores++
+			}
+		}
+		for _, cp := range snap.Profiles {
+			if a.c.Scorer.ApplyProfile(cp) {
+				a.restored.Profiles++
+			}
+		}
+	}
 }
 
 // applyRecord replays one WAL record. Unknown kinds are skipped (a
@@ -273,6 +304,28 @@ func (a *Adaptive) applyRecord(rec Record) error {
 			a.c.Groups.Add(ev.Group, ev.Member)
 			a.restored.GroupMembers++
 		}
+	case KindScore:
+		if a.c.Scorer == nil {
+			return nil
+		}
+		var ev adaptive.ScoreEvent
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return fmt.Errorf("statestore: record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		if a.c.Scorer.ApplyScore(ev) {
+			a.restored.Scores++
+		}
+	case KindProfile:
+		if a.c.Scorer == nil {
+			return nil
+		}
+		var cp adaptive.ProfileCheckpoint
+		if err := json.Unmarshal(rec.Data, &cp); err != nil {
+			return fmt.Errorf("statestore: record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+		if a.c.Scorer.ApplyProfile(cp) {
+			a.restored.Profiles++
+		}
 	}
 	return nil
 }
@@ -288,6 +341,10 @@ func (a *Adaptive) applyRecord(rec Record) error {
 //   - counters: additive — every event lands in the sliding window.
 //   - groups: adds and removes apply as sent (add-heavy blacklists
 //     converge; concurrent add/remove resolves by arrival order).
+//   - scores: max-wins on the score, additive on the sample delta —
+//     evidence against a source accumulates across the fleet, and a
+//     merged score past the block threshold blocks locally.
+//   - profiles: the better-trained checkpoint wins outright.
 //
 // Changed state is journaled locally (so it survives a restart) but
 // never echoed to the mirror — that is the replication loop-breaker.
@@ -354,6 +411,32 @@ func (a *Adaptive) ApplyRemote(rec Record) (bool, error) {
 		}
 		a.journalRemote(KindGroup, ev)
 		return true, nil
+	case KindScore:
+		if a.c.Scorer == nil {
+			return false, nil
+		}
+		var ev adaptive.ScoreEvent
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			return false, fmt.Errorf("statestore: remote %s record: %w", rec.Kind, err)
+		}
+		if !a.c.Scorer.ApplyScore(ev) {
+			return false, nil
+		}
+		a.journalRemote(KindScore, ev)
+		return true, nil
+	case KindProfile:
+		if a.c.Scorer == nil {
+			return false, nil
+		}
+		var cp adaptive.ProfileCheckpoint
+		if err := json.Unmarshal(rec.Data, &cp); err != nil {
+			return false, fmt.Errorf("statestore: remote %s record: %w", rec.Kind, err)
+		}
+		if !a.c.Scorer.ApplyProfile(cp) {
+			return false, nil
+		}
+		a.journalRemote(KindProfile, cp)
+		return true, nil
 	}
 	return false, nil
 }
@@ -365,7 +448,10 @@ func (a *Adaptive) StateSnapshot() ([]byte, error) { return a.snapshot() }
 // ApplyRemoteSnapshot merges a peer's full state snapshot using the
 // same rules as ApplyRemote. Counters are NOT merged from snapshots
 // (replaying a full event series would double-count); they replicate
-// incrementally only. Returns how many mutations changed local state.
+// incrementally only. Score entries merge max-wins on both fields for
+// the same reason — a snapshot carries totals, so the additive delta
+// rule would double-count evidence. Returns how many mutations
+// changed local state.
 func (a *Adaptive) ApplyRemoteSnapshot(data []byte) (int, error) {
 	var snap stateSnapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -408,6 +494,20 @@ func (a *Adaptive) ApplyRemoteSnapshot(data []byte) (int, error) {
 			}
 		}
 	}
+	if a.c.Scorer != nil {
+		for _, ev := range snap.Scores {
+			if a.c.Scorer.RestoreScore(ev) {
+				a.journalRemote(KindScore, ev)
+				applied++
+			}
+		}
+		for _, cp := range snap.Profiles {
+			if a.c.Scorer.ApplyProfile(cp) {
+				a.journalRemote(KindProfile, cp)
+				applied++
+			}
+		}
+	}
 	return applied, nil
 }
 
@@ -431,6 +531,10 @@ func (a *Adaptive) snapshot() ([]byte, error) {
 		for _, g := range a.c.Groups.Groups() {
 			snap.Groups[g] = a.c.Groups.Members(g)
 		}
+	}
+	if a.c.Scorer != nil {
+		snap.Scores = a.c.Scorer.Scores()
+		snap.Profiles = a.c.Scorer.Profiles()
 	}
 	return json.Marshal(snap)
 }
